@@ -1,0 +1,708 @@
+use crate::{AigError, AigLit};
+use deepgate_netlist::{GateKind, Netlist, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The kind of an AIG node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AigNodeKind {
+    /// The constant-false node (always node 0).
+    ConstFalse,
+    /// A primary input.
+    Input,
+    /// A 2-input AND node.
+    And,
+}
+
+/// One node of an [`Aig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AigNode {
+    /// The node kind.
+    pub kind: AigNodeKind,
+    /// First fan-in literal (only meaningful for AND nodes).
+    pub fanin0: AigLit,
+    /// Second fan-in literal (only meaningful for AND nodes).
+    pub fanin1: AigLit,
+}
+
+/// Structural statistics of an [`Aig`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AigStats {
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Number of AND nodes.
+    pub num_ands: usize,
+    /// Number of primary outputs.
+    pub num_outputs: usize,
+    /// Logic depth in AND levels.
+    pub depth: usize,
+    /// Number of nodes with fan-out ≥ 2 (reconvergence stems).
+    pub num_fanout_stems: usize,
+    /// Total node count of the explicit PI/AND/NOT netlist produced by
+    /// [`Aig::to_netlist`] (each distinct complemented edge becomes one NOT).
+    pub num_expanded_nodes: usize,
+}
+
+/// An And-Inverter Graph with structural hashing.
+///
+/// Node 0 is the constant-false node, followed by the primary inputs and then
+/// the AND nodes in topological order. Edges are [`AigLit`]s that carry a
+/// complement bit, so inverters are free. Construction performs constant
+/// folding, trivial simplification (`x·x = x`, `x·¬x = 0`, `x·1 = x`,
+/// `x·0 = 0`) and structural hashing, mirroring the behaviour of ABC's
+/// `strash` command that the paper relies on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Aig {
+    name: String,
+    nodes: Vec<AigNode>,
+    inputs: Vec<usize>,
+    input_names: Vec<String>,
+    outputs: Vec<(AigLit, String)>,
+    #[serde(skip)]
+    strash: HashMap<(AigLit, AigLit), usize>,
+}
+
+impl Aig {
+    /// Creates an empty AIG containing only the constant node.
+    pub fn new(name: impl Into<String>) -> Self {
+        Aig {
+            name: name.into(),
+            nodes: vec![AigNode {
+                kind: AigNodeKind::ConstFalse,
+                fanin0: AigLit::FALSE,
+                fanin1: AigLit::FALSE,
+            }],
+            inputs: Vec::new(),
+            input_names: Vec::new(),
+            outputs: Vec::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the design.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Total node count including the constant node.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the AIG contains only the constant node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of AND nodes.
+    pub fn num_ands(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == AigNodeKind::And)
+            .count()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Node indices of the primary inputs, in declaration order.
+    pub fn inputs(&self) -> &[usize] {
+        &self.inputs
+    }
+
+    /// Name of the `i`-th primary input.
+    pub fn input_name(&self, i: usize) -> &str {
+        &self.input_names[i]
+    }
+
+    /// Primary outputs as `(literal, name)` pairs.
+    pub fn outputs(&self) -> &[(AigLit, String)] {
+        &self.outputs
+    }
+
+    /// Access a node by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn node(&self, index: usize) -> &AigNode {
+        &self.nodes[index]
+    }
+
+    /// Iterates over `(index, node)` pairs in topological (index) order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &AigNode)> {
+        self.nodes.iter().enumerate()
+    }
+
+    /// Adds a primary input and returns its (positive) literal.
+    pub fn add_input(&mut self, name: impl Into<String>) -> AigLit {
+        let index = self.nodes.len();
+        self.nodes.push(AigNode {
+            kind: AigNodeKind::Input,
+            fanin0: AigLit::FALSE,
+            fanin1: AigLit::FALSE,
+        });
+        self.inputs.push(index);
+        self.input_names.push(name.into());
+        AigLit::positive(index)
+    }
+
+    /// Marks a literal as a primary output.
+    pub fn add_output(&mut self, lit: AigLit, name: impl Into<String>) {
+        self.outputs.push((lit, name.into()));
+    }
+
+    /// Renames the `i`-th primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_input_name(&mut self, i: usize, name: impl Into<String>) {
+        self.input_names[i] = name.into();
+    }
+
+    /// Appends a node verbatim (no simplification). Crate-internal helper for
+    /// the AIGER parser.
+    pub(crate) fn push_node(&mut self, kind: AigNodeKind, fanin0: AigLit, fanin1: AigLit) {
+        self.nodes.push(AigNode {
+            kind,
+            fanin0,
+            fanin1,
+        });
+    }
+
+    /// Returns the AND of two literals, applying constant folding, trivial
+    /// simplification and structural hashing.
+    pub fn and(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        // Constant folding and trivial cases.
+        if a == AigLit::FALSE || b == AigLit::FALSE {
+            return AigLit::FALSE;
+        }
+        if a == AigLit::TRUE {
+            return b;
+        }
+        if b == AigLit::TRUE {
+            return a;
+        }
+        if a == b {
+            return a;
+        }
+        if a == b.complement() {
+            return AigLit::FALSE;
+        }
+        // Canonical order for structural hashing.
+        let (lo, hi) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        if let Some(&idx) = self.strash.get(&(lo, hi)) {
+            return AigLit::positive(idx);
+        }
+        let index = self.nodes.len();
+        self.nodes.push(AigNode {
+            kind: AigNodeKind::And,
+            fanin0: lo,
+            fanin1: hi,
+        });
+        self.strash.insert((lo, hi), index);
+        AigLit::positive(index)
+    }
+
+    /// Returns the OR of two literals (built as `¬(¬a·¬b)`).
+    pub fn or(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        self.and(a.complement(), b.complement()).complement()
+    }
+
+    /// Returns the XOR of two literals (built from three AND nodes).
+    pub fn xor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        let a_nb = self.and(a, b.complement());
+        let na_b = self.and(a.complement(), b);
+        self.or(a_nb, na_b)
+    }
+
+    /// Returns `sel ? b : a` built from AND/OR nodes.
+    pub fn mux(&mut self, sel: AigLit, a: AigLit, b: AigLit) -> AigLit {
+        let not_sel_a = self.and(sel.complement(), a);
+        let sel_b = self.and(sel, b);
+        self.or(not_sel_a, sel_b)
+    }
+
+    /// Reduces a slice of literals with AND as a balanced tree.
+    pub fn and_many(&mut self, lits: &[AigLit]) -> AigLit {
+        self.reduce(lits, AigLit::TRUE, Self::and)
+    }
+
+    /// Reduces a slice of literals with OR as a balanced tree.
+    pub fn or_many(&mut self, lits: &[AigLit]) -> AigLit {
+        self.reduce(lits, AigLit::FALSE, Self::or)
+    }
+
+    /// Reduces a slice of literals with XOR as a balanced tree.
+    pub fn xor_many(&mut self, lits: &[AigLit]) -> AigLit {
+        self.reduce(lits, AigLit::FALSE, Self::xor)
+    }
+
+    fn reduce(
+        &mut self,
+        lits: &[AigLit],
+        empty: AigLit,
+        op: fn(&mut Self, AigLit, AigLit) -> AigLit,
+    ) -> AigLit {
+        match lits.len() {
+            0 => empty,
+            1 => lits[0],
+            _ => {
+                let mut layer = lits.to_vec();
+                while layer.len() > 1 {
+                    let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                    for pair in layer.chunks(2) {
+                        if pair.len() == 2 {
+                            next.push(op(self, pair[0], pair[1]));
+                        } else {
+                            next.push(pair[0]);
+                        }
+                    }
+                    layer = next;
+                }
+                layer[0]
+            }
+        }
+    }
+
+    /// Converts a gate-level netlist into AIG form (the ABC `strash`
+    /// substitute).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AigError::InvalidNetlist`] if the netlist fails validation.
+    pub fn from_netlist(netlist: &Netlist) -> Result<Self, AigError> {
+        netlist.validate()?;
+        let mut aig = Aig::new(netlist.name());
+        let mut map: HashMap<NodeId, AigLit> = HashMap::new();
+        for (id, node) in netlist.iter() {
+            let lit = match node.kind {
+                GateKind::Input => aig.add_input(
+                    node.name
+                        .clone()
+                        .unwrap_or_else(|| format!("pi_{}", id.index())),
+                ),
+                GateKind::Const0 => AigLit::FALSE,
+                GateKind::Const1 => AigLit::TRUE,
+                GateKind::Buf => map[&node.fanins[0]],
+                GateKind::Not => map[&node.fanins[0]].complement(),
+                GateKind::And | GateKind::Nand => {
+                    let lits: Vec<AigLit> = node.fanins.iter().map(|f| map[f]).collect();
+                    let res = aig.and_many(&lits);
+                    if node.kind == GateKind::Nand {
+                        res.complement()
+                    } else {
+                        res
+                    }
+                }
+                GateKind::Or | GateKind::Nor => {
+                    let lits: Vec<AigLit> = node.fanins.iter().map(|f| map[f]).collect();
+                    let res = aig.or_many(&lits);
+                    if node.kind == GateKind::Nor {
+                        res.complement()
+                    } else {
+                        res
+                    }
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    let lits: Vec<AigLit> = node.fanins.iter().map(|f| map[f]).collect();
+                    let res = aig.xor_many(&lits);
+                    if node.kind == GateKind::Xnor {
+                        res.complement()
+                    } else {
+                        res
+                    }
+                }
+                GateKind::Mux => {
+                    let sel = map[&node.fanins[0]];
+                    let a = map[&node.fanins[1]];
+                    let b = map[&node.fanins[2]];
+                    aig.mux(sel, a, b)
+                }
+            };
+            map.insert(id, lit);
+        }
+        for (po, name) in netlist.outputs() {
+            let lit = map[po];
+            aig.add_output(lit, name.clone());
+        }
+        Ok(aig)
+    }
+
+    /// Logic level of every node (constant and inputs at level 0, AND nodes
+    /// one above their deepest fan-in). The second element is the maximum
+    /// level.
+    pub fn levels(&self) -> (Vec<usize>, usize) {
+        let mut level = vec![0usize; self.nodes.len()];
+        let mut max = 0;
+        for (i, node) in self.iter() {
+            if node.kind == AigNodeKind::And {
+                let l = level[node.fanin0.node()].max(level[node.fanin1.node()]) + 1;
+                level[i] = l;
+                max = max.max(l);
+            }
+        }
+        (level, max)
+    }
+
+    /// Number of fan-outs (AND consumers plus primary outputs) of every node.
+    pub fn fanout_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes.len()];
+        for (_, node) in self.iter() {
+            if node.kind == AigNodeKind::And {
+                counts[node.fanin0.node()] += 1;
+                counts[node.fanin1.node()] += 1;
+            }
+        }
+        for (lit, _) in &self.outputs {
+            counts[lit.node()] += 1;
+        }
+        counts
+    }
+
+    /// Per-node list of AND fan-out node indices (forward adjacency).
+    pub fn fanouts(&self) -> Vec<Vec<usize>> {
+        let mut fanouts = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.iter() {
+            if node.kind == AigNodeKind::And {
+                fanouts[node.fanin0.node()].push(i);
+                fanouts[node.fanin1.node()].push(i);
+            }
+        }
+        fanouts
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> AigStats {
+        let (_, depth) = self.levels();
+        let fanouts = self.fanout_counts();
+        AigStats {
+            num_inputs: self.num_inputs(),
+            num_ands: self.num_ands(),
+            num_outputs: self.num_outputs(),
+            depth,
+            num_fanout_stems: fanouts.iter().filter(|&&c| c >= 2).count(),
+            num_expanded_nodes: self.to_netlist().len(),
+        }
+    }
+
+    /// Expands the AIG into an explicit PI/AND/NOT netlist.
+    ///
+    /// Complemented edges are materialised as `NOT` gates (one per distinct
+    /// complemented source node), which yields exactly the three-symbol node
+    /// alphabet (PI, AND, NOT) the DeepGate model consumes.
+    pub fn to_netlist(&self) -> Netlist {
+        let mut out = Netlist::new(self.name.clone());
+        // Map each AIG node index to its netlist node.
+        let mut node_map: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
+        // Lazily created NOT node per complemented source.
+        let mut not_map: HashMap<usize, NodeId> = HashMap::new();
+        // The constant node is only materialised if referenced.
+        let mut const_node: Option<NodeId> = None;
+        let mut const_not: Option<NodeId> = None;
+
+        for (i, input_idx) in self.inputs.iter().enumerate() {
+            let id = out.add_input(self.input_names[i].clone());
+            node_map[*input_idx] = Some(id);
+        }
+
+        // Resolve a literal to a netlist node, creating NOT/const nodes on
+        // demand. Implemented as a closure-free helper to appease borrowck.
+        fn resolve(
+            out: &mut Netlist,
+            node_map: &[Option<NodeId>],
+            not_map: &mut HashMap<usize, NodeId>,
+            const_node: &mut Option<NodeId>,
+            const_not: &mut Option<NodeId>,
+            lit: AigLit,
+        ) -> NodeId {
+            if lit.is_constant() {
+                let base = *const_node.get_or_insert_with(|| out.add_const(false));
+                if lit.is_complemented() {
+                    return *const_not.get_or_insert_with(|| {
+                        out.add_gate(GateKind::Not, &[base]).expect("arity 1")
+                    });
+                }
+                return base;
+            }
+            let base = node_map[lit.node()].expect("fan-in built before use");
+            if lit.is_complemented() {
+                *not_map.entry(lit.node()).or_insert_with(|| {
+                    out.add_gate(GateKind::Not, &[base]).expect("arity 1")
+                })
+            } else {
+                base
+            }
+        }
+
+        for (i, node) in self.iter() {
+            if node.kind != AigNodeKind::And {
+                continue;
+            }
+            let a = resolve(
+                &mut out,
+                &node_map,
+                &mut not_map,
+                &mut const_node,
+                &mut const_not,
+                node.fanin0,
+            );
+            let b = resolve(
+                &mut out,
+                &node_map,
+                &mut not_map,
+                &mut const_node,
+                &mut const_not,
+                node.fanin1,
+            );
+            let id = out.add_gate(GateKind::And, &[a, b]).expect("arity 2");
+            node_map[i] = Some(id);
+        }
+
+        let outputs: Vec<(AigLit, String)> = self.outputs.clone();
+        for (lit, name) in outputs {
+            let id = resolve(
+                &mut out,
+                &node_map,
+                &mut not_map,
+                &mut const_node,
+                &mut const_not,
+                lit,
+            );
+            out.mark_output(id, name);
+        }
+        out
+    }
+
+    /// Rebuilds the structural-hash table (needed after deserialisation).
+    pub fn rebuild_strash(&mut self) {
+        self.strash.clear();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.kind == AigNodeKind::And {
+                self.strash.insert((node.fanin0, node.fanin1), i);
+            }
+        }
+    }
+
+    /// Checks internal invariants: node 0 is the constant, fan-ins of AND
+    /// nodes point to earlier nodes, inputs have kind `Input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AigError::InvalidNetlist`] describing the first violation.
+    pub fn validate(&self) -> Result<(), AigError> {
+        if self.nodes.is_empty() || self.nodes[0].kind != AigNodeKind::ConstFalse {
+            return Err(AigError::InvalidNetlist(
+                "node 0 must be the constant-false node".into(),
+            ));
+        }
+        for (i, node) in self.iter().skip(1) {
+            match node.kind {
+                AigNodeKind::ConstFalse => {
+                    return Err(AigError::InvalidNetlist(format!(
+                        "node {i} duplicates the constant node"
+                    )))
+                }
+                AigNodeKind::Input => {}
+                AigNodeKind::And => {
+                    if node.fanin0.node() >= i || node.fanin1.node() >= i {
+                        return Err(AigError::InvalidNetlist(format!(
+                            "and node {i} references a later node"
+                        )));
+                    }
+                }
+            }
+        }
+        for (lit, _) in &self.outputs {
+            if lit.node() >= self.nodes.len() {
+                return Err(AigError::UnknownNode(lit.node()));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Aig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "aig `{}`: {} inputs, {} ands, {} outputs",
+            self.name,
+            self.num_inputs(),
+            self.num_ands(),
+            self.num_outputs()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_simplifications() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        assert_eq!(aig.and(a, AigLit::FALSE), AigLit::FALSE);
+        assert_eq!(aig.and(AigLit::TRUE, b), b);
+        assert_eq!(aig.and(a, a), a);
+        assert_eq!(aig.and(a, a.complement()), AigLit::FALSE);
+        assert_eq!(aig.num_ands(), 0);
+    }
+
+    #[test]
+    fn structural_hashing_deduplicates() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let g1 = aig.and(a, b);
+        let g2 = aig.and(b, a);
+        assert_eq!(g1, g2);
+        assert_eq!(aig.num_ands(), 1);
+        let g3 = aig.or(a, b);
+        let g4 = aig.or(a, b);
+        assert_eq!(g3, g4);
+        assert_eq!(aig.num_ands(), 2);
+    }
+
+    #[test]
+    fn xor_uses_three_ands() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let _x = aig.xor(a, b);
+        assert_eq!(aig.num_ands(), 3);
+    }
+
+    #[test]
+    fn from_netlist_maps_all_gate_kinds() {
+        let mut n = Netlist::new("mix");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g_and = n.add_gate(GateKind::And, &[a, b]).unwrap();
+        let g_or = n.add_gate(GateKind::Or, &[b, c]).unwrap();
+        let g_nand = n.add_gate(GateKind::Nand, &[a, c]).unwrap();
+        let g_nor = n.add_gate(GateKind::Nor, &[g_and, g_or]).unwrap();
+        let g_xor = n.add_gate(GateKind::Xor, &[g_nand, g_nor]).unwrap();
+        let g_xnor = n.add_gate(GateKind::Xnor, &[g_xor, a]).unwrap();
+        let g_mux = n.add_gate(GateKind::Mux, &[g_xnor, b, c]).unwrap();
+        let g_not = n.add_gate(GateKind::Not, &[g_mux]).unwrap();
+        let g_buf = n.add_gate(GateKind::Buf, &[g_not]).unwrap();
+        n.mark_output(g_buf, "y");
+        let aig = Aig::from_netlist(&n).unwrap();
+        assert!(aig.validate().is_ok());
+        assert_eq!(aig.num_inputs(), 3);
+        assert_eq!(aig.num_outputs(), 1);
+        assert!(aig.num_ands() > 0);
+    }
+
+    #[test]
+    fn levels_and_fanouts() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let ab = aig.and(a, b);
+        let abc = aig.and(ab, c);
+        aig.add_output(abc, "y");
+        let (levels, max) = aig.levels();
+        assert_eq!(max, 2);
+        assert_eq!(levels[ab.node()], 1);
+        assert_eq!(levels[abc.node()], 2);
+        let fanouts = aig.fanout_counts();
+        assert_eq!(fanouts[ab.node()], 1);
+        assert_eq!(fanouts[abc.node()], 1);
+        assert_eq!(fanouts[a.node()], 1);
+        assert_eq!(aig.fanouts()[a.node()], vec![ab.node()]);
+    }
+
+    #[test]
+    fn to_netlist_expands_inverters_once_per_source() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        // or(a, b) = ¬(¬a·¬b): uses ¬a and ¬b.
+        let o = aig.or(a, b);
+        // nand(a, b) = ¬(a·b): output inverter on the and node.
+        let nand = aig.and(a, b).complement();
+        aig.add_output(o, "o");
+        aig.add_output(nand, "n");
+        let n = aig.to_netlist();
+        assert!(n.validate().is_ok());
+        let stats = n.stats();
+        // Nodes: 2 PIs, 2 ANDs, NOTs: ¬a, ¬b, ¬(¬a·¬b), ¬(a·b) = 4 NOTs.
+        assert_eq!(stats.count_of(GateKind::And), 2);
+        assert_eq!(stats.count_of(GateKind::Not), 4);
+        assert_eq!(stats.count_of(GateKind::Input), 2);
+        // Only PI/AND/NOT appear.
+        assert_eq!(n.len(), 8);
+    }
+
+    #[test]
+    fn to_netlist_handles_constant_outputs() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        aig.add_output(AigLit::TRUE, "one");
+        aig.add_output(AigLit::FALSE, "zero");
+        aig.add_output(a, "a_out");
+        let n = aig.to_netlist();
+        assert!(n.validate().is_ok());
+        assert_eq!(n.num_outputs(), 3);
+        assert_eq!(n.stats().count_of(GateKind::Const0), 1);
+    }
+
+    #[test]
+    fn validate_rejects_forward_reference() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let _ = aig.and(a, b);
+        // Corrupt: make the AND node reference a future node.
+        aig.nodes[3].fanin0 = AigLit::positive(10);
+        assert!(aig.validate().is_err());
+    }
+
+    #[test]
+    fn stats_report() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let ab = aig.and(a, b);
+        let o = aig.or(ab, a);
+        aig.add_output(o, "y");
+        let stats = aig.stats();
+        assert_eq!(stats.num_inputs, 2);
+        assert_eq!(stats.num_outputs, 1);
+        assert!(stats.num_ands >= 2);
+        assert!(stats.num_expanded_nodes >= stats.num_ands + stats.num_inputs);
+        assert!(aig.to_string().contains("aig"));
+    }
+
+    #[test]
+    fn rebuild_strash_restores_dedup() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let g1 = aig.and(a, b);
+        aig.strash.clear();
+        aig.rebuild_strash();
+        let g2 = aig.and(a, b);
+        assert_eq!(g1, g2);
+    }
+}

@@ -1,0 +1,65 @@
+use std::fmt;
+
+/// Errors produced while building, converting or parsing AIGs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AigError {
+    /// The source netlist failed validation before conversion.
+    InvalidNetlist(String),
+    /// A gate kind in the source netlist is not supported by the mapper.
+    UnsupportedGate(String),
+    /// A referenced node does not exist.
+    UnknownNode(usize),
+    /// AIGER text could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The AIGER header is inconsistent with the body.
+    HeaderMismatch(String),
+}
+
+impl fmt::Display for AigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AigError::InvalidNetlist(msg) => write!(f, "invalid source netlist: {msg}"),
+            AigError::UnsupportedGate(kind) => write!(f, "unsupported gate kind `{kind}`"),
+            AigError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            AigError::Parse { line, message } => {
+                write!(f, "aiger parse error at line {line}: {message}")
+            }
+            AigError::HeaderMismatch(msg) => write!(f, "aiger header mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AigError {}
+
+impl From<deepgate_netlist::NetlistError> for AigError {
+    fn from(err: deepgate_netlist::NetlistError) -> Self {
+        AigError::InvalidNetlist(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(AigError::UnknownNode(3).to_string().contains('3'));
+        assert!(AigError::UnsupportedGate("mux".into())
+            .to_string()
+            .contains("mux"));
+        let e: AigError = deepgate_netlist::NetlistError::UnknownNode(1).into();
+        assert!(matches!(e, AigError::InvalidNetlist(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AigError>();
+    }
+}

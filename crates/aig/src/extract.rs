@@ -1,0 +1,217 @@
+//! Sub-circuit (cone) extraction.
+//!
+//! The DeepGate training set consists of small sub-circuits — 30 to roughly
+//! 3,000 gates — extracted from larger benchmark designs (Table I). This
+//! module implements that extraction step: logic cones rooted at internal
+//! nodes or primary outputs are cut out of an [`Aig`] and returned as
+//! self-contained AIGs whose cut points become fresh primary inputs.
+
+use crate::{Aig, AigLit, AigNodeKind};
+use std::collections::HashMap;
+
+/// Parameters of sub-circuit extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtractConfig {
+    /// Minimum number of nodes (inputs + ANDs) a sub-circuit must have.
+    pub min_nodes: usize,
+    /// Maximum number of nodes a sub-circuit may have; larger cones are cut
+    /// at a level boundary.
+    pub max_nodes: usize,
+    /// Maximum depth (in AND levels) of an extracted cone.
+    pub max_depth: usize,
+}
+
+impl Default for ExtractConfig {
+    fn default() -> Self {
+        ExtractConfig {
+            min_nodes: 30,
+            max_nodes: 3_000,
+            max_depth: 24,
+        }
+    }
+}
+
+/// Extracts the logic cone rooted at `root` (an AND node index), cutting at
+/// `max_depth` levels below the root; nodes beyond the cut become primary
+/// inputs of the extracted AIG. Returns `None` if the cone is smaller than
+/// `min_nodes` or `root` is not an AND node.
+pub fn extract_cone(aig: &Aig, root: usize, config: ExtractConfig) -> Option<Aig> {
+    if aig.node(root).kind != AigNodeKind::And {
+        return None;
+    }
+    let (levels, _) = aig.levels();
+    let root_level = levels[root];
+    let cut_level = root_level.saturating_sub(config.max_depth);
+
+    // Collect the cone with a DFS bounded by the level cut and a node budget.
+    let mut in_cone: Vec<usize> = Vec::new();
+    let mut cut_points: Vec<usize> = Vec::new();
+    let mut seen: HashMap<usize, bool> = HashMap::new(); // node -> is internal
+    let mut stack = vec![root];
+    while let Some(i) = stack.pop() {
+        if seen.contains_key(&i) {
+            continue;
+        }
+        let node = aig.node(i);
+        let internal = node.kind == AigNodeKind::And
+            && levels[i] > cut_level
+            && in_cone.len() < config.max_nodes;
+        seen.insert(i, internal);
+        if internal {
+            in_cone.push(i);
+            stack.push(node.fanin0.node());
+            stack.push(node.fanin1.node());
+        } else {
+            cut_points.push(i);
+        }
+    }
+
+    if in_cone.len() + cut_points.len() < config.min_nodes {
+        return None;
+    }
+
+    // Rebuild the cone as a fresh AIG, topological order = ascending index.
+    in_cone.sort_unstable();
+    cut_points.sort_unstable();
+    cut_points.dedup();
+
+    let mut out = Aig::new(format!("{}_cone{}", aig.name(), root));
+    let mut map: HashMap<usize, AigLit> = HashMap::new();
+    map.insert(0, AigLit::FALSE);
+    for &cp in &cut_points {
+        if cp == 0 {
+            continue; // constant stays constant
+        }
+        let lit = out.add_input(format!("cut_{cp}"));
+        map.insert(cp, lit);
+    }
+    for &i in &in_cone {
+        let node = aig.node(i);
+        let a = translate(&map, node.fanin0);
+        let b = translate(&map, node.fanin1);
+        let lit = out.and(a, b);
+        map.insert(i, lit);
+    }
+    out.add_output(map[&root], format!("cone_{root}"));
+    Some(out)
+}
+
+/// Extracts up to `max_count` sub-circuits from an AIG by walking candidate
+/// roots from the deepest levels downwards. Roots are spaced so extracted
+/// cones overlap less. Returns the extracted AIGs.
+pub fn extract_subcircuits(aig: &Aig, config: ExtractConfig, max_count: usize) -> Vec<Aig> {
+    let (levels, _) = aig.levels();
+    // Candidate roots: AND nodes sorted by descending level.
+    let mut roots: Vec<usize> = aig
+        .iter()
+        .filter(|(_, n)| n.kind == AigNodeKind::And)
+        .map(|(i, _)| i)
+        .collect();
+    roots.sort_by_key(|&i| std::cmp::Reverse(levels[i]));
+
+    let mut out = Vec::new();
+    let mut used_roots: Vec<usize> = Vec::new();
+    for root in roots {
+        if out.len() >= max_count {
+            break;
+        }
+        // Space roots apart: skip roots too close (in level) to an already
+        // used root that is structurally nearby (same level band).
+        if used_roots
+            .iter()
+            .any(|&u| levels[u].abs_diff(levels[root]) < 2 && u.abs_diff(root) < config.max_nodes / 4)
+        {
+            continue;
+        }
+        if let Some(cone) = extract_cone(aig, root, config) {
+            used_roots.push(root);
+            out.push(cone);
+        }
+    }
+    out
+}
+
+fn translate(map: &HashMap<usize, AigLit>, lit: AigLit) -> AigLit {
+    let base = map[&lit.node()];
+    if lit.is_complemented() {
+        base.complement()
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deep_aig(width: usize, depth: usize) -> Aig {
+        // A woven multi-level AIG with plenty of sharing.
+        let mut aig = Aig::new("deep");
+        let mut layer: Vec<AigLit> = (0..width).map(|i| aig.add_input(format!("x{i}"))).collect();
+        for d in 0..depth {
+            let mut next = Vec::with_capacity(width);
+            for i in 0..width {
+                let a = layer[i];
+                let b = layer[(i + 1 + d) % width];
+                let lit = aig.and(a, if d % 2 == 0 { b } else { b.complement() });
+                next.push(lit);
+            }
+            layer = next;
+        }
+        for (i, &l) in layer.iter().enumerate() {
+            aig.add_output(l, format!("y{i}"));
+        }
+        aig
+    }
+
+    #[test]
+    fn extract_cone_produces_valid_aig() {
+        let aig = deep_aig(8, 6);
+        let root = aig.outputs()[0].0.node();
+        let config = ExtractConfig {
+            min_nodes: 5,
+            max_nodes: 100,
+            max_depth: 4,
+        };
+        let cone = extract_cone(&aig, root, config).expect("cone extracted");
+        assert!(cone.validate().is_ok());
+        assert!(cone.len() >= config.min_nodes);
+        assert!(cone.num_ands() <= config.max_nodes);
+        assert_eq!(cone.num_outputs(), 1);
+        // Depth is bounded by the cut.
+        let (_, depth) = cone.levels();
+        assert!(depth <= config.max_depth);
+    }
+
+    #[test]
+    fn extract_cone_rejects_small_cones_and_inputs() {
+        let aig = deep_aig(4, 2);
+        let config = ExtractConfig {
+            min_nodes: 1000,
+            max_nodes: 2000,
+            max_depth: 8,
+        };
+        let root = aig.outputs()[0].0.node();
+        assert!(extract_cone(&aig, root, config).is_none());
+        // A primary input is not a valid root.
+        let input_root = aig.inputs()[0];
+        assert!(extract_cone(&aig, input_root, ExtractConfig::default()).is_none());
+    }
+
+    #[test]
+    fn extract_subcircuits_returns_multiple_cones() {
+        let aig = deep_aig(12, 8);
+        let config = ExtractConfig {
+            min_nodes: 10,
+            max_nodes: 60,
+            max_depth: 4,
+        };
+        let cones = extract_subcircuits(&aig, config, 5);
+        assert!(!cones.is_empty());
+        assert!(cones.len() <= 5);
+        for cone in &cones {
+            assert!(cone.validate().is_ok());
+            assert!(cone.len() >= config.min_nodes);
+        }
+    }
+}

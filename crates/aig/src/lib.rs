@@ -1,0 +1,57 @@
+//! And-Inverter Graphs and the logic-synthesis substrate of the DeepGate
+//! reproduction.
+//!
+//! The DeepGate paper normalises every circuit into the And-Inverter Graph
+//! (AIG) format using the ABC logic-synthesis tool before learning. This
+//! crate is the from-scratch substitute for that step:
+//!
+//! - [`Aig`] — an AIG with complemented edges ([`AigLit`]), structural
+//!   hashing and constant folding on construction.
+//! - [`Aig::from_netlist`] — maps an arbitrary gate-level
+//!   [`Netlist`](deepgate_netlist::Netlist) (AND/OR/XOR/NAND/NOR/MUX/…)
+//!   into AIG form, the equivalent of ABC's `strash`.
+//! - [`opt`] — light optimisation passes (dead-node sweeping, AND-tree
+//!   balancing, constant propagation) that inject the structural inductive
+//!   bias the paper attributes to logic synthesis.
+//! - [`recon`] — reconvergence analysis: for every node, the closest
+//!   fan-out stem through which two of its input cones reconverge, plus the
+//!   logic-level distance. These records drive DeepGate's skip connections.
+//! - [`extract`] — sub-circuit (cone) extraction in a target size range,
+//!   used to build the training dataset of Table I.
+//! - [`io`] — AIGER-ASCII (`aag`) reader/writer and conversion back to an
+//!   explicit PI/AND/NOT netlist for the learning front-end.
+//!
+//! # Example
+//!
+//! ```rust
+//! use deepgate_netlist::{GateKind, Netlist};
+//! use deepgate_aig::Aig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut n = Netlist::new("xor");
+//! let a = n.add_input("a");
+//! let b = n.add_input("b");
+//! let y = n.add_gate(GateKind::Xor, &[a, b])?;
+//! n.mark_output(y, "y");
+//!
+//! let aig = Aig::from_netlist(&n)?;
+//! // XOR maps to three AND nodes: (a·¬b) + (¬a·b) = ¬(¬(a·¬b)·¬(¬a·b)).
+//! assert_eq!(aig.num_ands(), 3);
+//! # Ok(())
+//! # }
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aig;
+mod error;
+pub mod extract;
+pub mod io;
+mod lit;
+pub mod opt;
+pub mod recon;
+
+pub use aig::{Aig, AigNode, AigNodeKind, AigStats};
+pub use error::AigError;
+pub use lit::AigLit;
+pub use recon::{ReconvergenceAnalysis, ReconvergenceConfig, ReconvergenceInfo};

@@ -1,0 +1,247 @@
+//! Light logic-optimisation passes over [`Aig`].
+//!
+//! The DeepGate paper relies on a logic-synthesis tool (ABC) to optimise the
+//! circuits it trains on; the authors argue the synthesis step injects a
+//! strong relational inductive bias into the resulting graphs. This module is
+//! the substitute: a `sweep` pass that removes dead nodes and re-strashes, a
+//! `balance` pass that reassociates AND trees to reduce depth (ABC's
+//! `balance`), and [`optimize`] which runs them to a fixpoint.
+
+use crate::{Aig, AigLit, AigNodeKind};
+use std::collections::HashMap;
+
+/// Removes dead AND nodes (not reachable from any primary output) and rebuilds
+/// the AIG with structural hashing applied again. Returns the new AIG and the
+/// number of removed AND nodes.
+pub fn sweep(aig: &Aig) -> (Aig, usize) {
+    let mut reachable = vec![false; aig.len()];
+    let mut stack: Vec<usize> = aig.outputs().iter().map(|(l, _)| l.node()).collect();
+    while let Some(i) = stack.pop() {
+        if reachable[i] {
+            continue;
+        }
+        reachable[i] = true;
+        let node = aig.node(i);
+        if node.kind == AigNodeKind::And {
+            stack.push(node.fanin0.node());
+            stack.push(node.fanin1.node());
+        }
+    }
+    // Inputs are always kept to preserve the interface.
+    let mut out = Aig::new(aig.name());
+    let mut map: HashMap<usize, AigLit> = HashMap::new();
+    map.insert(0, AigLit::FALSE);
+    for (pos, &idx) in aig.inputs().iter().enumerate() {
+        let lit = out.add_input(aig.input_name(pos));
+        map.insert(idx, lit);
+    }
+    let mut removed = 0usize;
+    for (i, node) in aig.iter() {
+        if node.kind != AigNodeKind::And {
+            continue;
+        }
+        if !reachable[i] {
+            removed += 1;
+            continue;
+        }
+        let a = translate(&map, node.fanin0);
+        let b = translate(&map, node.fanin1);
+        let lit = out.and(a, b);
+        map.insert(i, lit);
+    }
+    for (lit, name) in aig.outputs() {
+        let mapped = translate(&map, *lit);
+        out.add_output(mapped, name.clone());
+    }
+    (out, removed)
+}
+
+/// Reassociates chains of AND nodes into balanced trees to reduce logic depth
+/// (the ABC `balance` pass). Only single-fan-out internal nodes are collapsed
+/// so shared logic is preserved. Returns the rebuilt AIG.
+pub fn balance(aig: &Aig) -> Aig {
+    let fanout = aig.fanout_counts();
+    let mut out = Aig::new(aig.name());
+    let mut map: HashMap<usize, AigLit> = HashMap::new();
+    map.insert(0, AigLit::FALSE);
+    for (pos, &idx) in aig.inputs().iter().enumerate() {
+        let lit = out.add_input(aig.input_name(pos));
+        map.insert(idx, lit);
+    }
+
+    // Collect the multi-input AND "super-gate" rooted at `root` by expanding
+    // single-fan-out, non-complemented AND fan-ins.
+    fn collect_leaves(aig: &Aig, fanout: &[usize], root: usize, leaves: &mut Vec<AigLit>) {
+        let node = aig.node(root);
+        for lit in [node.fanin0, node.fanin1] {
+            let child = lit.node();
+            let expandable = !lit.is_complemented()
+                && aig.node(child).kind == AigNodeKind::And
+                && fanout[child] == 1;
+            if expandable {
+                collect_leaves(aig, fanout, child, leaves);
+            } else {
+                leaves.push(lit);
+            }
+        }
+    }
+
+    for (i, node) in aig.iter() {
+        if node.kind != AigNodeKind::And {
+            continue;
+        }
+        // Skip nodes that are absorbed into a parent super-gate: they are
+        // single-fan-out AND nodes referenced positively by another AND.
+        let absorbed = fanout[i] == 1
+            && aig.iter().any(|(j, n)| {
+                n.kind == AigNodeKind::And
+                    && j > i
+                    && ((n.fanin0 == AigLit::positive(i)) || (n.fanin1 == AigLit::positive(i)))
+            });
+        if absorbed {
+            continue;
+        }
+        let mut leaves = Vec::new();
+        collect_leaves(aig, &fanout, i, &mut leaves);
+        let translated: Vec<AigLit> = leaves.iter().map(|&l| translate(&map, l)).collect();
+        let lit = out.and_many(&translated);
+        map.insert(i, lit);
+    }
+    for (lit, name) in aig.outputs() {
+        let mapped = translate_or_rebuild(aig, &mut out, &mut map, *lit);
+        out.add_output(mapped, name.clone());
+    }
+    out
+}
+
+/// Runs `sweep` and `balance` to a fixpoint (bounded by `max_rounds`), the
+/// equivalent of a short ABC optimisation script. Returns the optimised AIG.
+pub fn optimize(aig: &Aig, max_rounds: usize) -> Aig {
+    let mut current = aig.clone();
+    for _ in 0..max_rounds.max(1) {
+        let balanced = balance(&current);
+        let (swept, removed) = sweep(&balanced);
+        let unchanged = removed == 0 && swept.num_ands() == current.num_ands();
+        current = swept;
+        if unchanged {
+            break;
+        }
+    }
+    current
+}
+
+fn translate(map: &HashMap<usize, AigLit>, lit: AigLit) -> AigLit {
+    let base = map[&lit.node()];
+    if lit.is_complemented() {
+        base.complement()
+    } else {
+        base
+    }
+}
+
+/// Translates a literal, rebuilding the node cone in `out` if the node was
+/// absorbed during balancing and therefore has no mapping yet.
+fn translate_or_rebuild(
+    aig: &Aig,
+    out: &mut Aig,
+    map: &mut HashMap<usize, AigLit>,
+    lit: AigLit,
+) -> AigLit {
+    if let Some(&base) = map.get(&lit.node()) {
+        return if lit.is_complemented() {
+            base.complement()
+        } else {
+            base
+        };
+    }
+    let node = *aig.node(lit.node());
+    let a = translate_or_rebuild(aig, out, map, node.fanin0);
+    let b = translate_or_rebuild(aig, out, map, node.fanin1);
+    let rebuilt = out.and(a, b);
+    map.insert(lit.node(), rebuilt);
+    if lit.is_complemented() {
+        rebuilt.complement()
+    } else {
+        rebuilt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_aig(n: usize) -> Aig {
+        // a0 & a1 & ... & a_{n-1} built as a left-deep chain.
+        let mut aig = Aig::new("chain");
+        let inputs: Vec<AigLit> = (0..n).map(|i| aig.add_input(format!("a{i}"))).collect();
+        let mut acc = inputs[0];
+        for &x in &inputs[1..] {
+            acc = aig.and(acc, x);
+        }
+        aig.add_output(acc, "y");
+        aig
+    }
+
+    #[test]
+    fn sweep_removes_dead_nodes() {
+        let mut aig = Aig::new("dead");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let used = aig.and(a, b);
+        let _dead = aig.and(a, b.complement());
+        aig.add_output(used, "y");
+        let (swept, removed) = sweep(&aig);
+        assert_eq!(removed, 1);
+        assert_eq!(swept.num_ands(), 1);
+        assert_eq!(swept.num_inputs(), 2);
+        assert!(swept.validate().is_ok());
+    }
+
+    #[test]
+    fn balance_reduces_depth_of_chains() {
+        let aig = chain_aig(8);
+        let (_, depth_before) = aig.levels();
+        assert_eq!(depth_before, 7);
+        let balanced = balance(&aig);
+        let (_, depth_after) = balanced.levels();
+        assert_eq!(depth_after, 3);
+        assert_eq!(balanced.num_ands(), 7);
+        assert!(balanced.validate().is_ok());
+    }
+
+    #[test]
+    fn balance_preserves_shared_logic() {
+        let mut aig = Aig::new("shared");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let ab = aig.and(a, b);
+        let abc = aig.and(ab, c);
+        aig.add_output(ab, "s"); // ab is shared with an output -> fanout 2
+        aig.add_output(abc, "y");
+        let balanced = balance(&aig);
+        assert!(balanced.validate().is_ok());
+        assert_eq!(balanced.num_ands(), 2);
+        assert_eq!(balanced.num_outputs(), 2);
+    }
+
+    #[test]
+    fn optimize_runs_to_fixpoint() {
+        let aig = chain_aig(16);
+        let opt = optimize(&aig, 4);
+        let (_, depth) = opt.levels();
+        assert_eq!(depth, 4);
+        assert_eq!(opt.num_ands(), 15);
+        assert!(opt.validate().is_ok());
+    }
+
+    #[test]
+    fn sweep_keeps_all_inputs() {
+        let mut aig = Aig::new("io");
+        let _a = aig.add_input("a");
+        let b = aig.add_input("b");
+        aig.add_output(b, "y");
+        let (swept, _) = sweep(&aig);
+        assert_eq!(swept.num_inputs(), 2);
+    }
+}

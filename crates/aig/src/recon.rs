@@ -1,0 +1,363 @@
+//! Reconvergence analysis.
+//!
+//! Reconvergent fan-out — a stem node whose fan-out branches meet again at a
+//! later gate — is the main source of error for probabilistic circuit
+//! analysis, and DeepGate treats reconvergence nodes as *first-class
+//! citizens*: during data preparation every reconvergence node is annotated
+//! with its source fan-out stem and the logic-level distance to it, and the
+//! model adds a *skip connection* edge from the stem to the reconvergence
+//! node whose attribute is a sinusoidal positional encoding of that distance
+//! (Eq. 7 of the paper).
+//!
+//! The analysis here processes nodes in topological order and propagates, for
+//! every node, the set of fan-out stems present in its transitive fan-in
+//! within a bounded level distance. A node is reconvergent when the stem sets
+//! reached through its two fan-ins intersect; the closest such stem (smallest
+//! level difference) is recorded.
+
+use crate::{Aig, AigNodeKind};
+use deepgate_netlist::Netlist;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the reconvergence analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconvergenceConfig {
+    /// Maximum logic-level distance between a stem and a reconvergence node;
+    /// stems further away are not tracked (their influence on the node's
+    /// signal probability decays with distance, which is exactly the prior
+    /// the positional encoding captures).
+    pub max_level_distance: usize,
+    /// Maximum number of candidate stems tracked per node; the closest stems
+    /// are kept when the budget is exceeded.
+    pub max_tracked_stems: usize,
+}
+
+impl Default for ReconvergenceConfig {
+    fn default() -> Self {
+        ReconvergenceConfig {
+            max_level_distance: 24,
+            max_tracked_stems: 48,
+        }
+    }
+}
+
+/// Reconvergence record for a single node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconvergenceInfo {
+    /// Node index of the source fan-out stem.
+    pub source: usize,
+    /// Logic-level difference between the reconvergence node and the stem.
+    pub level_difference: usize,
+}
+
+/// Result of analysing an [`Aig`] for reconvergence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReconvergenceAnalysis {
+    per_node: Vec<Option<ReconvergenceInfo>>,
+    num_stems: usize,
+}
+
+impl ReconvergenceAnalysis {
+    /// Runs the analysis with the default configuration.
+    pub fn of(aig: &Aig) -> Self {
+        Self::with_config(aig, ReconvergenceConfig::default())
+    }
+
+    /// Runs the analysis with an explicit configuration.
+    pub fn with_config(aig: &Aig, config: ReconvergenceConfig) -> Self {
+        let fanout_counts = aig.fanout_counts();
+        let (levels, _) = aig.levels();
+        let fanins: Vec<Vec<usize>> = aig
+            .iter()
+            .map(|(_, node)| {
+                if node.kind == AigNodeKind::And {
+                    vec![node.fanin0.node(), node.fanin1.node()]
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        analyse(&fanins, &levels, &fanout_counts, config)
+    }
+
+    /// Runs the analysis on a gate-level [`Netlist`] (used when the circuit
+    /// graph is an explicit PI/AND/NOT expansion or an original-gate-type
+    /// netlist for the "without transformation" experiments).
+    pub fn of_netlist(netlist: &Netlist, config: ReconvergenceConfig) -> Self {
+        let fanout_counts = netlist.fanout_counts();
+        let levels = netlist.levels();
+        let fanins: Vec<Vec<usize>> = netlist
+            .iter()
+            .map(|(_, node)| node.fanins.iter().map(|f| f.index()).collect())
+            .collect();
+        analyse(&fanins, &levels.level, &fanout_counts, config)
+    }
+
+    /// Reconvergence record of a node, if it is a reconvergence node.
+    pub fn info(&self, node: usize) -> Option<ReconvergenceInfo> {
+        self.per_node.get(node).copied().flatten()
+    }
+
+    /// Per-node records indexed by AIG node index.
+    pub fn per_node(&self) -> &[Option<ReconvergenceInfo>] {
+        &self.per_node
+    }
+
+    /// Number of reconvergence nodes found.
+    pub fn num_reconvergence_nodes(&self) -> usize {
+        self.per_node.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Number of fan-out stems (fan-out ≥ 2) in the analysed AIG.
+    pub fn num_stems(&self) -> usize {
+        self.num_stems
+    }
+
+    /// The skip-connection edge list `(stem, reconvergence_node,
+    /// level_difference)` the DeepGate model adds to the circuit graph.
+    pub fn skip_edges(&self) -> Vec<(usize, usize, usize)> {
+        self.per_node
+            .iter()
+            .enumerate()
+            .filter_map(|(node, info)| {
+                info.map(|i| (i.source, node, i.level_difference))
+            })
+            .collect()
+    }
+}
+
+/// Core stem-set propagation shared by the AIG and netlist entry points.
+///
+/// A node is reconvergent when some fan-out stem is visible in the bounded
+/// transitive fan-in of at least two of its fan-in branches; the closest such
+/// stem (smallest level difference) is recorded.
+fn analyse(
+    fanins: &[Vec<usize>],
+    levels: &[usize],
+    fanout_counts: &[usize],
+    config: ReconvergenceConfig,
+) -> ReconvergenceAnalysis {
+    let n = fanins.len();
+    let is_stem: Vec<bool> = fanout_counts.iter().map(|&c| c >= 2).collect();
+    let num_stems = is_stem.iter().filter(|&&s| s).count();
+    let mut stem_sets: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut per_node: Vec<Option<ReconvergenceInfo>> = vec![None; n];
+
+    for i in 0..n {
+        let node_fanins = &fanins[i];
+        if node_fanins.is_empty() {
+            continue;
+        }
+        let level_i = levels[i];
+        let keep = |stem: usize| {
+            level_i >= levels[stem] && level_i - levels[stem] <= config.max_level_distance
+        };
+
+        // Stem set reached through each fan-in branch: the branch's own set
+        // plus the branch node itself when it is a stem.
+        let branches: Vec<Vec<usize>> = node_fanins
+            .iter()
+            .map(|&f| {
+                let mut branch: Vec<usize> =
+                    stem_sets[f].iter().copied().filter(|&s| keep(s)).collect();
+                if is_stem[f] && keep(f) {
+                    branch.push(f);
+                }
+                branch
+            })
+            .collect();
+
+        // Reconvergence: a stem visible through at least two branches; pick
+        // the one with the smallest level difference.
+        let mut best: Option<ReconvergenceInfo> = None;
+        if branches.len() >= 2 {
+            for (bi, branch) in branches.iter().enumerate() {
+                for &s in branch {
+                    let seen_elsewhere = branches
+                        .iter()
+                        .enumerate()
+                        .any(|(bj, other)| bj != bi && other.contains(&s));
+                    if seen_elsewhere {
+                        let diff = level_i - levels[s];
+                        if best.map_or(true, |b| diff < b.level_difference) {
+                            best = Some(ReconvergenceInfo {
+                                source: s,
+                                level_difference: diff,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        per_node[i] = best;
+
+        // The union of all branches becomes this node's stem set, capped to
+        // the closest stems.
+        let mut merged: Vec<usize> = Vec::new();
+        for branch in branches {
+            for s in branch {
+                if !merged.contains(&s) {
+                    merged.push(s);
+                }
+            }
+        }
+        merged.sort_by_key(|&s| std::cmp::Reverse(levels[s]));
+        merged.truncate(config.max_tracked_stems);
+        stem_sets[i] = merged;
+    }
+
+    ReconvergenceAnalysis {
+        per_node,
+        num_stems,
+    }
+}
+
+/// Sinusoidal positional encoding γ(D) of a level difference (Eq. 7 of the
+/// paper): `γ(D) = (sin(2^0 π D), cos(2^0 π D), …, sin(2^{L-1} π D),
+/// cos(2^{L-1} π D))`, a vector of length `2 L`.
+pub fn positional_encoding(level_difference: usize, l: usize) -> Vec<f32> {
+    let d = level_difference as f32;
+    let mut out = Vec::with_capacity(2 * l);
+    for k in 0..l {
+        // Following the NeRF-style formulation cited by the paper we use the
+        // frequency 2^k · π but divide the distance by a scale to avoid the
+        // encoding aliasing for integer D (sin(2^k π · integer) would always
+        // be 0); the scale keeps nearby distances distinguishable.
+        let freq = (2.0f32).powi(k as i32) * std::f32::consts::PI / 32.0;
+        out.push((freq * d).sin());
+        out.push((freq * d).cos());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AigLit;
+
+    /// Builds the classic reconvergent structure: stem s = a·b fans out to
+    /// two paths that reconverge at r.
+    fn reconvergent_aig() -> (Aig, usize, usize) {
+        let mut aig = Aig::new("recon");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let d = aig.add_input("d");
+        let stem = aig.and(a, b);
+        let p1 = aig.and(stem, c);
+        let p2 = aig.and(stem, d);
+        let recon = aig.and(p1, p2);
+        aig.add_output(recon, "y");
+        (aig, stem.node(), recon.node())
+    }
+
+    #[test]
+    fn detects_simple_reconvergence() {
+        let (aig, stem, recon) = reconvergent_aig();
+        let analysis = ReconvergenceAnalysis::of(&aig);
+        let info = analysis.info(recon).expect("reconvergence detected");
+        assert_eq!(info.source, stem);
+        assert_eq!(info.level_difference, 2);
+        assert_eq!(analysis.num_reconvergence_nodes(), 1);
+        assert!(analysis.num_stems() >= 1);
+        let edges = analysis.skip_edges();
+        assert_eq!(edges, vec![(stem, recon, 2)]);
+    }
+
+    #[test]
+    fn tree_circuit_has_no_reconvergence() {
+        let mut aig = Aig::new("tree");
+        let inputs: Vec<AigLit> = (0..8).map(|i| aig.add_input(format!("x{i}"))).collect();
+        let y = aig.and_many(&inputs);
+        aig.add_output(y, "y");
+        let analysis = ReconvergenceAnalysis::of(&aig);
+        assert_eq!(analysis.num_reconvergence_nodes(), 0);
+        assert!(analysis.skip_edges().is_empty());
+    }
+
+    #[test]
+    fn xor_structure_is_reconvergent() {
+        // xor(a, b) reconverges on both a and b; the closest stem must be
+        // reported with level difference within the xor depth.
+        let mut aig = Aig::new("xor");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let x = aig.xor(a, b);
+        aig.add_output(x, "y");
+        let analysis = ReconvergenceAnalysis::of(&aig);
+        let info = analysis.info(x.node()).expect("xor output reconverges");
+        assert!(info.source == a.node() || info.source == b.node());
+        assert_eq!(info.level_difference, 2);
+    }
+
+    #[test]
+    fn respects_level_distance_bound() {
+        let (aig, _, recon) = reconvergent_aig();
+        let config = ReconvergenceConfig {
+            max_level_distance: 1,
+            max_tracked_stems: 8,
+        };
+        let analysis = ReconvergenceAnalysis::with_config(&aig, config);
+        assert!(analysis.info(recon).is_none());
+    }
+
+    #[test]
+    fn positional_encoding_shape_and_range() {
+        let enc = positional_encoding(5, 8);
+        assert_eq!(enc.len(), 16);
+        assert!(enc.iter().all(|v| (-1.0..=1.0).contains(v)));
+        // Distance 0 encodes as alternating (0, 1) pairs.
+        let zero = positional_encoding(0, 4);
+        for pair in zero.chunks(2) {
+            assert!((pair[0] - 0.0).abs() < 1e-6);
+            assert!((pair[1] - 1.0).abs() < 1e-6);
+        }
+        // Different distances produce different encodings.
+        assert_ne!(positional_encoding(1, 8), positional_encoding(2, 8));
+    }
+
+    #[test]
+    fn netlist_analysis_detects_reconvergence_through_nots() {
+        use deepgate_netlist::{GateKind, Netlist};
+        let mut n = Netlist::new("recon");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let stem = n.add_gate(GateKind::And, &[a, b]).unwrap();
+        let inv = n.add_gate(GateKind::Not, &[stem]).unwrap();
+        let p1 = n.add_gate(GateKind::And, &[stem, c]).unwrap();
+        let p2 = n.add_gate(GateKind::And, &[inv, c]).unwrap();
+        let recon = n.add_gate(GateKind::And, &[p1, p2]).unwrap();
+        n.mark_output(recon, "y");
+        let analysis =
+            ReconvergenceAnalysis::of_netlist(&n, ReconvergenceConfig::default());
+        let info = analysis.info(recon.index()).expect("reconvergence found");
+        // Both c and stem reconverge at `recon`; the closest is reported.
+        assert!(info.source == stem.index() || info.source == c.index());
+        assert!(analysis.num_reconvergence_nodes() >= 1);
+    }
+
+    #[test]
+    fn closest_stem_is_preferred() {
+        // Two nested reconvergences: an outer stem far away and an inner stem
+        // close by; the inner one must be chosen.
+        let mut aig = Aig::new("nested");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let outer = aig.and(a, b); // stem 1
+        let l = aig.and(outer, c);
+        let r = aig.and(outer, a);
+        let inner_l = aig.and(l, r); // reconverges on outer
+        let inner_r = aig.and(l, r.complement());
+        // inner stem: both l and r have fanout 2 now
+        let top = aig.and(inner_l, inner_r);
+        aig.add_output(top, "y");
+        let analysis = ReconvergenceAnalysis::of(&aig);
+        let info = analysis.info(top.node()).expect("top reconverges");
+        // The closest reconvergence sources for `top` are l or r (distance 2),
+        // not `outer` (distance 3).
+        assert!(info.source == l.node() || info.source == r.node());
+        assert_eq!(info.level_difference, 2);
+    }
+}

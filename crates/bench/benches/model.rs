@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks of the model layer: DeepGate inference and a
+//! single training step, for the DeepGate configuration and the DeepSet
+//! baseline (the two contenders of Tables II and III).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepgate_aig::Aig;
+use deepgate_core::{DeepGate, DeepGateConfig};
+use deepgate_dataset::{generators, labelled_circuit_from_aig};
+use deepgate_gnn::{
+    masked_l1_loss, AggregatorKind, CircuitGraph, DagRecConfig, DagRecGnn, ProbabilityModel,
+};
+use deepgate_nn::{Graph, ParamStore};
+use std::hint::black_box;
+
+fn labelled_circuit(width: usize) -> CircuitGraph {
+    let netlist = generators::alu(width);
+    let aig = Aig::from_netlist(&netlist).unwrap();
+    labelled_circuit_from_aig(&aig, 2048, 3).unwrap()
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deepgate_inference");
+    group.sample_size(10);
+    let model = DeepGate::new(DeepGateConfig {
+        hidden_dim: 64,
+        num_iterations: 10,
+        ..DeepGateConfig::default()
+    });
+    for width in [8usize, 16] {
+        let circuit = labelled_circuit(width);
+        group.bench_with_input(
+            BenchmarkId::new("predict_T10", circuit.num_nodes),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| black_box(model.predict(black_box(circuit))))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("embeddings_T10", circuit.num_nodes),
+            &circuit,
+            |b, circuit| b.iter(|| black_box(model.embeddings(black_box(circuit)))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_step");
+    group.sample_size(10);
+    let circuit = labelled_circuit(8);
+    for (label, aggregator, fix, skip) in [
+        ("deepgate_attention_sc", AggregatorKind::Attention, true, true),
+        ("dag_rec_deepset", AggregatorKind::DeepSet, false, false),
+    ] {
+        let mut store = ParamStore::new();
+        let model = DagRecGnn::new(
+            &mut store,
+            DagRecConfig {
+                hidden_dim: 64,
+                num_iterations: 4,
+                aggregator,
+                fix_gate_input: fix,
+                use_skip_connections: skip,
+                regressor_hidden: 32,
+                ..DagRecConfig::default()
+            },
+        );
+        group.bench_function(BenchmarkId::new("forward_backward", label), |b| {
+            b.iter(|| {
+                let mut g = Graph::new();
+                let pred = model.forward(&mut g, &store, &circuit);
+                let loss = masked_l1_loss(&mut g, pred, &circuit);
+                let mut store_copy = store.clone();
+                g.backward(loss, &mut store_copy);
+                black_box(store_copy.grad_norm())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_training_step);
+criterion_main!(benches);

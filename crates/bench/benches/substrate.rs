@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks of the substrate layers: logic simulation,
+//! netlist-to-AIG mapping, optimisation and circuit-graph construction.
+//!
+//! These quantify the cost of the data-preparation stage of the DeepGate
+//! flow (Table I / Section III-B): how fast circuits are normalised to AIG
+//! form and labelled with signal probabilities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepgate_aig::{opt, Aig};
+use deepgate_dataset::generators;
+use deepgate_gnn::{CircuitGraph, FeatureEncoding};
+use deepgate_sim::SignalProbability;
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signal_probability_simulation");
+    group.sample_size(10);
+    for width in [8usize, 16] {
+        let netlist = generators::array_multiplier(width);
+        let aig = Aig::from_netlist(&netlist).expect("maps to AIG");
+        group.bench_with_input(
+            BenchmarkId::new("multiplier_aig_4096_patterns", width),
+            &aig,
+            |b, aig| {
+                b.iter(|| {
+                    let probs = SignalProbability::simulate(black_box(aig), 4096, 7).unwrap();
+                    black_box(probs.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_aig_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aig_construction");
+    group.sample_size(10);
+    for width in [16usize, 32] {
+        let netlist = generators::alu(width);
+        group.bench_with_input(
+            BenchmarkId::new("alu_strash", width),
+            &netlist,
+            |b, netlist| {
+                b.iter(|| {
+                    let aig = Aig::from_netlist(black_box(netlist)).unwrap();
+                    black_box(aig.num_ands())
+                })
+            },
+        );
+        let aig = Aig::from_netlist(&netlist).unwrap();
+        group.bench_with_input(BenchmarkId::new("alu_optimize", width), &aig, |b, aig| {
+            b.iter(|| {
+                let optimized = opt::optimize(black_box(aig), 2);
+                black_box(optimized.num_ands())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_circuit_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circuit_graph_preparation");
+    group.sample_size(10);
+    let netlist = generators::masked_arbiter(48);
+    let aig = Aig::from_netlist(&netlist).unwrap();
+    let expanded = aig.to_netlist();
+    group.bench_function("arbiter_graph_with_reconvergence", |b| {
+        b.iter(|| {
+            let graph =
+                CircuitGraph::from_netlist(black_box(&expanded), FeatureEncoding::AigGates, None);
+            black_box(graph.skip_edges.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulation,
+    bench_aig_construction,
+    bench_circuit_graph
+);
+criterion_main!(benches);

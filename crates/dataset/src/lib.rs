@@ -1,0 +1,33 @@
+//! Synthetic benchmark suites, sub-circuit extraction and the labelled
+//! dataset pipeline of the DeepGate reproduction.
+//!
+//! The paper trains on 10,824 sub-circuits extracted from four benchmark
+//! suites (ITC'99, IWLS'05, EPFL, OpenCores) and evaluates generalisation on
+//! five much larger designs. The original benchmark files are not
+//! redistributable, so this crate generates *synthetic stand-ins* with
+//! matching structural statistics (see DESIGN.md for the substitution
+//! rationale):
+//!
+//! - [`generators`] — parameterised combinational building blocks (adders,
+//!   multipliers, squarers, arbiters, ALUs, decoders, parity networks,
+//!   random control logic).
+//! - [`suites`] — per-suite design mixes that reproduce the size and depth
+//!   ranges of Table I.
+//! - [`large`] — the five large evaluation designs of Table III (arbiter,
+//!   squarer, multiplier and two processor-like datapaths).
+//! - [`Dataset`] — the end-to-end pipeline: generate designs, map to AIG,
+//!   optimise, label every node with logic-simulated signal probabilities
+//!   and split into train/test circuit graphs.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod large;
+mod pipeline;
+pub mod suites;
+
+pub use large::LargeDesign;
+pub use pipeline::{
+    labelled_circuit_from_aig, labelled_circuit_from_netlist, Dataset, DatasetConfig, SuiteStats,
+};
+pub use suites::SuiteKind;

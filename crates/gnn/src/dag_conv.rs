@@ -1,0 +1,210 @@
+//! The DAG-ConvGNN baseline: layered propagation in topological order
+//! (Eq. 3 of the paper) with per-layer parameters and a single forward pass.
+
+use crate::{Aggregator, AggregatorKind, CircuitGraph, ProbabilityModel};
+use deepgate_nn::{Activation, Graph, GruCell, Linear, Mlp, ParamStore, Tensor, Var};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the [`DagConvGnn`] baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DagConvConfig {
+    /// Node feature dimensionality.
+    pub feature_dim: usize,
+    /// Hidden state dimensionality.
+    pub hidden_dim: usize,
+    /// Number of stacked layers (each with its own parameters).
+    pub num_layers: usize,
+    /// Aggregation function.
+    pub aggregator: AggregatorKind,
+    /// Seed for weight initialisation.
+    pub seed: u64,
+}
+
+impl Default for DagConvConfig {
+    fn default() -> Self {
+        DagConvConfig {
+            feature_dim: 3,
+            hidden_dim: 64,
+            num_layers: 3,
+            aggregator: AggregatorKind::ConvSum,
+            seed: 0,
+        }
+    }
+}
+
+/// The DAG-ConvGNN baseline model.
+///
+/// Within a layer the nodes are processed level by level so a node aggregates
+/// the *current-layer* states of its predecessors (Eq. 3); the GRU combine
+/// mixes that message with the node's previous-layer state. Unlike
+/// [`crate::DagRecGnn`] each layer has its own parameters and there is no
+/// reversed propagation.
+#[derive(Debug, Clone)]
+pub struct DagConvGnn {
+    config: DagConvConfig,
+    embed: Linear,
+    aggregators: Vec<Aggregator>,
+    combiners: Vec<GruCell>,
+    regressor: Mlp,
+}
+
+impl DagConvGnn {
+    /// Registers the model's parameters in `store`.
+    pub fn new(store: &mut ParamStore, config: DagConvConfig) -> Self {
+        let embed = Linear::new(
+            store,
+            "dagconv.embed",
+            config.feature_dim,
+            config.hidden_dim,
+            config.seed,
+        );
+        let mut aggregators = Vec::new();
+        let mut combiners = Vec::new();
+        for layer in 0..config.num_layers {
+            aggregators.push(Aggregator::new(
+                store,
+                &format!("dagconv.layer{layer}.agg"),
+                config.aggregator,
+                config.hidden_dim,
+                0,
+                config.seed + 10 + layer as u64,
+            ));
+            combiners.push(GruCell::new(
+                store,
+                &format!("dagconv.layer{layer}.gru"),
+                config.hidden_dim,
+                config.hidden_dim,
+                config.seed + 100 + layer as u64,
+            ));
+        }
+        let regressor = Mlp::new(
+            store,
+            "dagconv.regressor",
+            &[config.hidden_dim, config.hidden_dim, 1],
+            Activation::Relu,
+            true,
+            config.seed + 1000,
+        );
+        DagConvGnn {
+            config,
+            embed,
+            aggregators,
+            combiners,
+            regressor,
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> DagConvConfig {
+        self.config
+    }
+}
+
+impl ProbabilityModel for DagConvGnn {
+    fn forward(&self, g: &mut Graph, store: &ParamStore, circuit: &CircuitGraph) -> Var {
+        assert_eq!(
+            circuit.encoding.dimension(),
+            self.config.feature_dim,
+            "circuit feature encoding does not match the model configuration"
+        );
+        let n = circuit.num_nodes;
+        let features = g.input(circuit.features.clone());
+        let mut h = self.embed.forward(g, store, features);
+        for layer in 0..self.config.num_layers {
+            let h_prev_layer = h;
+            for batch in &circuit.forward_batches {
+                let edge_targets: Vec<usize> =
+                    batch.edge_seg.iter().map(|&s| batch.targets[s]).collect();
+                let src_states = g.gather_rows(h, &batch.edge_src);
+                let query_states = g.gather_rows(h_prev_layer, &edge_targets);
+                let msg = self.aggregators[layer].aggregate(
+                    g,
+                    store,
+                    src_states,
+                    query_states,
+                    &batch.edge_seg,
+                    batch.targets.len(),
+                    None,
+                );
+                let h_targets_prev = g.gather_rows(h_prev_layer, &batch.targets);
+                let updated = self.combiners[layer].forward(g, store, msg, h_targets_prev);
+                // Write the updated rows back into h.
+                let mut keep = vec![1.0f32; n];
+                for &t in &batch.targets {
+                    keep[t] = 0.0;
+                }
+                let keep_mask = g.input(Tensor::column(&keep));
+                let kept = g.mul_col(keep_mask, h);
+                let scattered = g.scatter_add_rows(updated, &batch.targets, n);
+                h = g.add(kept, scattered);
+            }
+        }
+        self.regressor.forward(g, store, h)
+    }
+
+    fn name(&self) -> String {
+        format!("DAG-ConvGNN ({})", self.config.aggregator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FeatureEncoding;
+    use deepgate_netlist::{GateKind, Netlist};
+
+    fn graph() -> CircuitGraph {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g1 = n.add_gate(GateKind::And, &[a, b]).unwrap();
+        let g2 = n.add_gate(GateKind::Not, &[g1]).unwrap();
+        let g3 = n.add_gate(GateKind::And, &[g1, g2]).unwrap();
+        n.mark_output(g3, "y");
+        CircuitGraph::from_netlist(&n, FeatureEncoding::AigGates, None)
+    }
+
+    #[test]
+    fn forward_produces_probabilities_for_every_node() {
+        let circuit = graph();
+        for kind in AggregatorKind::ALL {
+            let mut store = ParamStore::new();
+            let model = DagConvGnn::new(
+                &mut store,
+                DagConvConfig {
+                    aggregator: kind,
+                    hidden_dim: 16,
+                    num_layers: 2,
+                    ..DagConvConfig::default()
+                },
+            );
+            let pred = model.predict(&store, &circuit);
+            assert_eq!(pred.len(), circuit.num_nodes);
+            assert!(pred.iter().all(|&p| (0.0..=1.0).contains(&p)), "{kind}");
+            assert!(model.name().contains("DAG-ConvGNN"));
+        }
+    }
+
+    #[test]
+    fn deeper_models_have_more_parameters() {
+        let mut store2 = ParamStore::new();
+        let _ = DagConvGnn::new(
+            &mut store2,
+            DagConvConfig {
+                num_layers: 2,
+                hidden_dim: 8,
+                ..DagConvConfig::default()
+            },
+        );
+        let mut store4 = ParamStore::new();
+        let _ = DagConvGnn::new(
+            &mut store4,
+            DagConvConfig {
+                num_layers: 4,
+                hidden_dim: 8,
+                ..DagConvConfig::default()
+            },
+        );
+        assert!(store4.num_weights() > store2.num_weights());
+    }
+}

@@ -1,0 +1,666 @@
+//! The recurrent DAG-GNN family (DAG-RecGNN) — the machinery shared by the
+//! strongest baseline of the paper and by DeepGate itself.
+//!
+//! One parameter set is applied for `T` iterations (Eq. 4). Every iteration
+//! runs a forward propagation in topological order followed, optionally, by a
+//! reversed propagation that models logic implication from outputs back to
+//! inputs. The configuration flags select between the paper's variants:
+//!
+//! | paper model | aggregator | `reverse_layer` | `fix_gate_input` | `use_skip_connections` |
+//! |---|---|---|---|---|
+//! | DAG-RecGNN (Conv. Sum / DeepSet / GatedSum) | respective | yes | no | no |
+//! | DeepGate w/o SC | Attention | yes | yes | no |
+//! | DeepGate w/ SC | Attention | yes | yes | yes |
+
+use crate::{Aggregator, AggregatorKind, CircuitGraph, LevelBatch, ProbabilityModel};
+use deepgate_aig::recon::positional_encoding;
+use deepgate_nn::{Activation, Graph, GruCell, Linear, Mlp, ParamStore, Tensor, Var};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`DagRecGnn`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DagRecConfig {
+    /// Node feature dimensionality (3 for AIG circuits).
+    pub feature_dim: usize,
+    /// Hidden state dimensionality (the paper uses 64).
+    pub hidden_dim: usize,
+    /// Number of recurrence iterations `T` (the paper uses 10).
+    pub num_iterations: usize,
+    /// Aggregation function.
+    pub aggregator: AggregatorKind,
+    /// Whether a reversed propagation layer follows every forward layer.
+    pub reverse_layer: bool,
+    /// Whether the gate-type one-hot is concatenated to the aggregated
+    /// message as GRU input on every update (DeepGate keeps it fixed to
+    /// avoid the gate information vanishing over iterations).
+    pub fix_gate_input: bool,
+    /// Whether skip connections from reconvergence analysis are added.
+    pub use_skip_connections: bool,
+    /// Number of frequency pairs `L` of the positional encoding (Eq. 7).
+    pub skip_encoding_frequencies: usize,
+    /// Hidden width of the MLP regressor.
+    pub regressor_hidden: usize,
+    /// Whether a separate regressor head is used per gate type (the paper
+    /// shares MLP weights only among nodes of the same type).
+    pub per_type_regressor: bool,
+    /// Seed for weight initialisation.
+    pub seed: u64,
+}
+
+impl Default for DagRecConfig {
+    fn default() -> Self {
+        DagRecConfig {
+            feature_dim: 3,
+            hidden_dim: 64,
+            num_iterations: 10,
+            aggregator: AggregatorKind::DeepSet,
+            reverse_layer: true,
+            fix_gate_input: false,
+            use_skip_connections: false,
+            skip_encoding_frequencies: 8,
+            regressor_hidden: 32,
+            per_type_regressor: false,
+            seed: 0,
+        }
+    }
+}
+
+impl DagRecConfig {
+    /// Dimensionality of the positional-encoding edge attribute.
+    pub fn edge_attr_dim(&self) -> usize {
+        if self.use_skip_connections {
+            2 * self.skip_encoding_frequencies
+        } else {
+            0
+        }
+    }
+
+    /// GRU input dimensionality (message plus, optionally, the gate one-hot).
+    pub fn gru_input_dim(&self) -> usize {
+        if self.fix_gate_input {
+            self.hidden_dim + self.feature_dim
+        } else {
+            self.hidden_dim
+        }
+    }
+}
+
+/// A recurrent DAG-GNN with configurable aggregation, reversed propagation,
+/// fixed gate-type input and reconvergence skip connections.
+#[derive(Debug, Clone)]
+pub struct DagRecGnn {
+    config: DagRecConfig,
+    embed: Linear,
+    forward_agg: Aggregator,
+    forward_gru: GruCell,
+    reverse_agg: Option<Aggregator>,
+    reverse_gru: Option<GruCell>,
+    regressors: Vec<Mlp>,
+}
+
+impl DagRecGnn {
+    /// Registers the model's parameters in `store`.
+    pub fn new(store: &mut ParamStore, config: DagRecConfig) -> Self {
+        let embed = Linear::new(
+            store,
+            "dagrec.embed",
+            config.feature_dim,
+            config.hidden_dim,
+            config.seed,
+        );
+        let forward_agg = Aggregator::new(
+            store,
+            "dagrec.forward.agg",
+            config.aggregator,
+            config.hidden_dim,
+            config.edge_attr_dim(),
+            config.seed + 1,
+        );
+        let forward_gru = GruCell::new(
+            store,
+            "dagrec.forward.gru",
+            config.gru_input_dim(),
+            config.hidden_dim,
+            config.seed + 2,
+        );
+        let (reverse_agg, reverse_gru) = if config.reverse_layer {
+            (
+                Some(Aggregator::new(
+                    store,
+                    "dagrec.reverse.agg",
+                    config.aggregator,
+                    config.hidden_dim,
+                    0,
+                    config.seed + 3,
+                )),
+                Some(GruCell::new(
+                    store,
+                    "dagrec.reverse.gru",
+                    config.gru_input_dim(),
+                    config.hidden_dim,
+                    config.seed + 4,
+                )),
+            )
+        } else {
+            (None, None)
+        };
+        let num_heads = if config.per_type_regressor {
+            config.feature_dim
+        } else {
+            1
+        };
+        let regressors = (0..num_heads)
+            .map(|head| {
+                Mlp::new(
+                    store,
+                    &format!("dagrec.regressor{head}"),
+                    &[config.hidden_dim, config.regressor_hidden, 1],
+                    Activation::Relu,
+                    true,
+                    config.seed + 100 + head as u64,
+                )
+            })
+            .collect();
+        DagRecGnn {
+            config,
+            embed,
+            forward_agg,
+            forward_gru,
+            reverse_agg,
+            reverse_gru,
+            regressors,
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> DagRecConfig {
+        self.config
+    }
+
+    /// Builds the extended edge lists of a forward batch, appending skip
+    /// edges whose targets belong to this batch, plus the edge attribute
+    /// matrix (zeros for ordinary edges, γ(D) for skip edges).
+    fn extended_edges(
+        &self,
+        circuit: &CircuitGraph,
+        batch: &LevelBatch,
+    ) -> (Vec<usize>, Vec<usize>, Option<Tensor>) {
+        let mut edge_src = batch.edge_src.clone();
+        let mut edge_seg = batch.edge_seg.clone();
+        if !self.config.use_skip_connections {
+            return (edge_src, edge_seg, None);
+        }
+        let attr_dim = self.config.edge_attr_dim();
+        let mut attrs: Vec<Vec<f32>> = vec![vec![0.0; attr_dim]; edge_src.len()];
+        for (seg, &target) in batch.targets.iter().enumerate() {
+            if let Some(skip) = circuit.skip_edge_for(target) {
+                edge_src.push(skip.source);
+                edge_seg.push(seg);
+                attrs.push(positional_encoding(
+                    skip.level_difference,
+                    self.config.skip_encoding_frequencies,
+                ));
+            }
+        }
+        let mut attr_tensor = Tensor::zeros(edge_src.len(), attr_dim);
+        for (e, row) in attrs.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                attr_tensor.set(e, j, v);
+            }
+        }
+        (edge_src, edge_seg, Some(attr_tensor))
+    }
+
+    /// Runs the regressor head(s) on the final hidden states (tape version).
+    fn regress(&self, g: &mut Graph, store: &ParamStore, circuit: &CircuitGraph, h: Var) -> Var {
+        if !self.config.per_type_regressor {
+            return self.regressors[0].forward(g, store, h);
+        }
+        let n = circuit.num_nodes;
+        let mut total: Option<Var> = None;
+        for (head, regressor) in self.regressors.iter().enumerate() {
+            let mask: Vec<f32> = (0..n).map(|i| circuit.features.get(i, head)).collect();
+            let pred = regressor.forward(g, store, h);
+            let mask_v = g.input(Tensor::column(&mask));
+            let masked = g.mul(pred, mask_v);
+            total = Some(match total {
+                Some(t) => g.add(t, masked),
+                None => masked,
+            });
+        }
+        total.expect("at least one regressor head")
+    }
+
+    fn forward_with_iterations(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        circuit: &CircuitGraph,
+        num_iterations: usize,
+    ) -> Var {
+        assert_eq!(
+            circuit.encoding.dimension(),
+            self.config.feature_dim,
+            "circuit feature encoding does not match the model configuration"
+        );
+        let features = g.input(circuit.features.clone());
+        let mut h = self.embed.forward(g, store, features);
+        for _ in 0..num_iterations {
+            // Forward propagation in topological order.
+            for batch in &circuit.forward_batches {
+                let (edge_src, edge_seg, attr) = self.extended_edges(circuit, batch);
+                let edge_targets: Vec<usize> =
+                    edge_seg.iter().map(|&s| batch.targets[s]).collect();
+                let src_states = g.gather_rows(h, &edge_src);
+                let query_states = g.gather_rows(h, &edge_targets);
+                let attr_var = attr.map(|a| g.input(a));
+                let msg = self.forward_agg.aggregate(
+                    g,
+                    store,
+                    src_states,
+                    query_states,
+                    &edge_seg,
+                    batch.targets.len(),
+                    attr_var,
+                );
+                h = self.update_rows(g, store, circuit, h, batch, msg, false);
+            }
+            // Reversed propagation, if configured.
+            if self.reverse_agg.is_some() {
+                for batch in &circuit.reverse_batches {
+                    let edge_targets: Vec<usize> =
+                        batch.edge_seg.iter().map(|&s| batch.targets[s]).collect();
+                    let src_states = g.gather_rows(h, &batch.edge_src);
+                    let query_states = g.gather_rows(h, &edge_targets);
+                    let msg = self.reverse_agg.as_ref().expect("checked").aggregate(
+                        g,
+                        store,
+                        src_states,
+                        query_states,
+                        &batch.edge_seg,
+                        batch.targets.len(),
+                        None,
+                    );
+                    h = self.update_rows(g, store, circuit, h, batch, msg, true);
+                }
+            }
+        }
+        self.regress(g, store, circuit, h)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn update_rows(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        circuit: &CircuitGraph,
+        h: Var,
+        batch: &LevelBatch,
+        msg: Var,
+        reverse: bool,
+    ) -> Var {
+        let n = circuit.num_nodes;
+        let gru = if reverse {
+            self.reverse_gru.as_ref().expect("reverse layer configured")
+        } else {
+            &self.forward_gru
+        };
+        let gru_input = if self.config.fix_gate_input {
+            let target_features = {
+                let feat_rows: Vec<Vec<f32>> = batch
+                    .targets
+                    .iter()
+                    .map(|&t| circuit.features.row(t).to_vec())
+                    .collect();
+                let mut t = Tensor::zeros(batch.targets.len(), self.config.feature_dim);
+                for (i, row) in feat_rows.iter().enumerate() {
+                    for (j, &v) in row.iter().enumerate() {
+                        t.set(i, j, v);
+                    }
+                }
+                g.input(t)
+            };
+            g.concat_cols(msg, target_features)
+        } else {
+            msg
+        };
+        let h_targets = g.gather_rows(h, &batch.targets);
+        let updated = gru.forward(g, store, gru_input, h_targets);
+        let mut keep = vec![1.0f32; n];
+        for &t in &batch.targets {
+            keep[t] = 0.0;
+        }
+        let keep_mask = g.input(Tensor::column(&keep));
+        let kept = g.mul_col(keep_mask, h);
+        let scattered = g.scatter_add_rows(updated, &batch.targets, n);
+        g.add(kept, scattered)
+    }
+
+    /// Gradient-free prediction with an explicit iteration count. Used by the
+    /// recurrence-iteration sweep (Section IV-D2 of the paper) and for
+    /// inference on circuits far larger than the training set (Table III),
+    /// where recording an autodiff tape would exhaust memory.
+    pub fn predict_with_iterations(
+        &self,
+        store: &ParamStore,
+        circuit: &CircuitGraph,
+        num_iterations: usize,
+    ) -> Vec<f32> {
+        assert_eq!(
+            circuit.encoding.dimension(),
+            self.config.feature_dim,
+            "circuit feature encoding does not match the model configuration"
+        );
+        let h = self.embed_with_iterations(store, circuit, num_iterations);
+        self.regress_tensor(store, circuit, &h)
+            .as_slice()
+            .to_vec()
+    }
+
+    /// Gradient-free computation of the final node embeddings `h_v^T` — the
+    /// neural representations of the logic gates that downstream EDA tasks
+    /// would consume.
+    pub fn embed_with_iterations(
+        &self,
+        store: &ParamStore,
+        circuit: &CircuitGraph,
+        num_iterations: usize,
+    ) -> Tensor {
+        let mut h = self.embed.forward_tensor(store, &circuit.features);
+        for _ in 0..num_iterations {
+            for batch in &circuit.forward_batches {
+                let (edge_src, edge_seg, attr) = self.extended_edges(circuit, batch);
+                let msg = self.aggregate_tensor(
+                    store,
+                    &h,
+                    circuit,
+                    &edge_src,
+                    &edge_seg,
+                    batch,
+                    attr.as_ref(),
+                    false,
+                );
+                self.update_rows_tensor(store, circuit, &mut h, batch, &msg, false);
+            }
+            if self.reverse_agg.is_some() {
+                for batch in &circuit.reverse_batches {
+                    let msg = self.aggregate_tensor(
+                        store,
+                        &h,
+                        circuit,
+                        &batch.edge_src,
+                        &batch.edge_seg,
+                        batch,
+                        None,
+                        true,
+                    );
+                    self.update_rows_tensor(store, circuit, &mut h, batch, &msg, true);
+                }
+            }
+        }
+        h
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn aggregate_tensor(
+        &self,
+        store: &ParamStore,
+        h: &Tensor,
+        _circuit: &CircuitGraph,
+        edge_src: &[usize],
+        edge_seg: &[usize],
+        batch: &LevelBatch,
+        attr: Option<&Tensor>,
+        reverse: bool,
+    ) -> Tensor {
+        let gather = |indices: &[usize]| -> Tensor {
+            let mut out = Tensor::zeros(indices.len(), h.cols());
+            for (i, &idx) in indices.iter().enumerate() {
+                for j in 0..h.cols() {
+                    out.set(i, j, h.get(idx, j));
+                }
+            }
+            out
+        };
+        let edge_targets: Vec<usize> = edge_seg.iter().map(|&s| batch.targets[s]).collect();
+        let src_states = gather(edge_src);
+        let query_states = gather(&edge_targets);
+        let agg = if reverse {
+            self.reverse_agg.as_ref().expect("reverse layer configured")
+        } else {
+            &self.forward_agg
+        };
+        agg.aggregate_tensor(
+            store,
+            &src_states,
+            &query_states,
+            edge_seg,
+            batch.targets.len(),
+            attr,
+        )
+    }
+
+    fn update_rows_tensor(
+        &self,
+        store: &ParamStore,
+        circuit: &CircuitGraph,
+        h: &mut Tensor,
+        batch: &LevelBatch,
+        msg: &Tensor,
+        reverse: bool,
+    ) {
+        let gru = if reverse {
+            self.reverse_gru.as_ref().expect("reverse layer configured")
+        } else {
+            &self.forward_gru
+        };
+        let input = if self.config.fix_gate_input {
+            let mut concat = Tensor::zeros(
+                batch.targets.len(),
+                self.config.hidden_dim + self.config.feature_dim,
+            );
+            for (i, &t) in batch.targets.iter().enumerate() {
+                for j in 0..self.config.hidden_dim {
+                    concat.set(i, j, msg.get(i, j));
+                }
+                for j in 0..self.config.feature_dim {
+                    concat.set(i, self.config.hidden_dim + j, circuit.features.get(t, j));
+                }
+            }
+            concat
+        } else {
+            msg.clone()
+        };
+        let mut h_targets = Tensor::zeros(batch.targets.len(), h.cols());
+        for (i, &t) in batch.targets.iter().enumerate() {
+            for j in 0..h.cols() {
+                h_targets.set(i, j, h.get(t, j));
+            }
+        }
+        let updated = gru.forward_tensor(store, &input, &h_targets);
+        for (i, &t) in batch.targets.iter().enumerate() {
+            for j in 0..h.cols() {
+                h.set(t, j, updated.get(i, j));
+            }
+        }
+    }
+
+    fn regress_tensor(&self, store: &ParamStore, circuit: &CircuitGraph, h: &Tensor) -> Tensor {
+        if !self.config.per_type_regressor {
+            return self.regressors[0].forward_tensor(store, h);
+        }
+        let n = circuit.num_nodes;
+        let mut out = Tensor::zeros(n, 1);
+        for (head, regressor) in self.regressors.iter().enumerate() {
+            let pred = regressor.forward_tensor(store, h);
+            for i in 0..n {
+                let mask = circuit.features.get(i, head);
+                if mask > 0.0 {
+                    out.set(i, 0, out.get(i, 0) + mask * pred.get(i, 0));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl ProbabilityModel for DagRecGnn {
+    fn forward(&self, g: &mut Graph, store: &ParamStore, circuit: &CircuitGraph) -> Var {
+        self.forward_with_iterations(g, store, circuit, self.config.num_iterations)
+    }
+
+    fn predict(&self, store: &ParamStore, circuit: &CircuitGraph) -> Vec<f32> {
+        self.predict_with_iterations(store, circuit, self.config.num_iterations)
+    }
+
+    fn name(&self) -> String {
+        let base = if self.config.fix_gate_input && self.config.aggregator == AggregatorKind::Attention
+        {
+            if self.config.use_skip_connections {
+                "DeepGate (Attention w/ SC)".to_string()
+            } else {
+                "DeepGate (Attention w/o SC)".to_string()
+            }
+        } else {
+            format!("DAG-RecGNN ({})", self.config.aggregator)
+        };
+        format!("{base} T={}", self.config.num_iterations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FeatureEncoding;
+    use deepgate_netlist::{GateKind, Netlist};
+
+    fn reconvergent_graph() -> CircuitGraph {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g1 = n.add_gate(GateKind::And, &[a, b]).unwrap();
+        let g2 = n.add_gate(GateKind::Not, &[g1]).unwrap();
+        let g3 = n.add_gate(GateKind::And, &[g1, c]).unwrap();
+        let g4 = n.add_gate(GateKind::And, &[g2, g3]).unwrap();
+        n.mark_output(g4, "y");
+        CircuitGraph::from_netlist(&n, FeatureEncoding::AigGates, None)
+    }
+
+    fn small_config(kind: AggregatorKind) -> DagRecConfig {
+        DagRecConfig {
+            hidden_dim: 12,
+            num_iterations: 2,
+            aggregator: kind,
+            regressor_hidden: 8,
+            ..DagRecConfig::default()
+        }
+    }
+
+    #[test]
+    fn forward_produces_probabilities_for_all_aggregators() {
+        let circuit = reconvergent_graph();
+        for kind in AggregatorKind::ALL {
+            let mut store = ParamStore::new();
+            let model = DagRecGnn::new(&mut store, small_config(kind));
+            let mut g = Graph::new();
+            let pred = model.forward(&mut g, &store, &circuit);
+            let values = g.value(pred);
+            assert_eq!(values.shape(), [circuit.num_nodes, 1]);
+            assert!(values.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn tensor_prediction_matches_tape_prediction() {
+        let circuit = reconvergent_graph();
+        for (fix, skip, per_type) in [(false, false, false), (true, false, false), (true, true, true)] {
+            let mut store = ParamStore::new();
+            let config = DagRecConfig {
+                aggregator: AggregatorKind::Attention,
+                fix_gate_input: fix,
+                use_skip_connections: skip,
+                per_type_regressor: per_type,
+                ..small_config(AggregatorKind::Attention)
+            };
+            let model = DagRecGnn::new(&mut store, config);
+            let mut g = Graph::new();
+            let tape_pred = model.forward(&mut g, &store, &circuit);
+            let tape_values = g.value(tape_pred).as_slice().to_vec();
+            let tensor_values = model.predict(&store, &circuit);
+            for (a, b) in tape_values.iter().zip(&tensor_values) {
+                assert!((a - b).abs() < 1e-4, "fix={fix} skip={skip}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn deepgate_configuration_is_named_deepgate() {
+        let mut store = ParamStore::new();
+        let config = DagRecConfig {
+            aggregator: AggregatorKind::Attention,
+            fix_gate_input: true,
+            use_skip_connections: true,
+            ..small_config(AggregatorKind::Attention)
+        };
+        let model = DagRecGnn::new(&mut store, config);
+        assert!(model.name().contains("DeepGate"));
+        assert!(model.name().contains("w/ SC"));
+        let mut store2 = ParamStore::new();
+        let baseline = DagRecGnn::new(&mut store2, small_config(AggregatorKind::DeepSet));
+        assert!(baseline.name().contains("DAG-RecGNN"));
+    }
+
+    #[test]
+    fn skip_connections_change_predictions_on_reconvergent_circuits() {
+        let circuit = reconvergent_graph();
+        assert!(!circuit.skip_edges.is_empty());
+        let base_config = DagRecConfig {
+            aggregator: AggregatorKind::Attention,
+            fix_gate_input: true,
+            use_skip_connections: false,
+            ..small_config(AggregatorKind::Attention)
+        };
+        let skip_config = DagRecConfig {
+            use_skip_connections: true,
+            ..base_config
+        };
+        // Same seed so shared parameters initialise identically; the extra
+        // skip-edge parameters must change the output on a reconvergent
+        // circuit.
+        let mut store_a = ParamStore::new();
+        let model_a = DagRecGnn::new(&mut store_a, base_config);
+        let mut store_b = ParamStore::new();
+        let model_b = DagRecGnn::new(&mut store_b, skip_config);
+        let pred_a = model_a.predict(&store_a, &circuit);
+        let pred_b = model_b.predict(&store_b, &circuit);
+        let diff: f32 = pred_a
+            .iter()
+            .zip(&pred_b)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-6);
+    }
+
+    #[test]
+    fn more_iterations_change_the_embedding() {
+        let circuit = reconvergent_graph();
+        let mut store = ParamStore::new();
+        let model = DagRecGnn::new(&mut store, small_config(AggregatorKind::Attention));
+        let h1 = model.embed_with_iterations(&store, &circuit, 1);
+        let h4 = model.embed_with_iterations(&store, &circuit, 4);
+        assert_eq!(h1.shape(), [circuit.num_nodes, 12]);
+        assert_ne!(h1, h4);
+    }
+
+    #[test]
+    fn iteration_count_is_an_inference_knob() {
+        let circuit = reconvergent_graph();
+        let mut store = ParamStore::new();
+        let model = DagRecGnn::new(&mut store, small_config(AggregatorKind::Attention));
+        let p1 = model.predict_with_iterations(&store, &circuit, 1);
+        let p8 = model.predict_with_iterations(&store, &circuit, 8);
+        assert_eq!(p1.len(), p8.len());
+        assert!(p1.iter().zip(&p8).any(|(a, b)| (a - b).abs() > 1e-7));
+    }
+}

@@ -1,0 +1,433 @@
+//! The learning representation of a circuit: node features, level-batched
+//! edge lists, labels and reconvergence skip edges.
+
+use deepgate_aig::recon::{positional_encoding, ReconvergenceAnalysis, ReconvergenceConfig};
+use deepgate_aig::Aig;
+use deepgate_netlist::{GateKind, Netlist};
+use deepgate_nn::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// How gate types are encoded as node feature vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureEncoding {
+    /// Three-symbol alphabet of the AIG representation: primary input /
+    /// constant, AND gate, NOT gate. This is the encoding DeepGate uses
+    /// after circuit transformation.
+    AigGates,
+    /// One-hot over the full [`GateKind`] alphabet, used for the "without
+    /// circuit transformation" ablation of Table IV.
+    AllGates,
+}
+
+impl FeatureEncoding {
+    /// Dimensionality of the node feature vectors under this encoding.
+    pub fn dimension(self) -> usize {
+        match self {
+            FeatureEncoding::AigGates => 3,
+            FeatureEncoding::AllGates => GateKind::ALL.len(),
+        }
+    }
+
+    /// Feature index of a gate kind under this encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`FeatureEncoding::AigGates`] if the kind is not part of
+    /// the PI/AND/NOT alphabet (e.g. an OR gate in a netlist that was not
+    /// transformed to AIG form).
+    pub fn index_of(self, kind: GateKind) -> usize {
+        match self {
+            FeatureEncoding::AigGates => match kind {
+                GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0,
+                GateKind::And => 1,
+                GateKind::Not => 2,
+                other => panic!("gate kind {other} is not part of the AIG alphabet"),
+            },
+            FeatureEncoding::AllGates => kind.one_hot_index(),
+        }
+    }
+}
+
+/// A skip-connection edge from a fan-out stem to a reconvergence node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SkipEdge {
+    /// Node index of the source fan-out stem.
+    pub source: usize,
+    /// Node index of the reconvergence node.
+    pub target: usize,
+    /// Logic-level difference between the two.
+    pub level_difference: usize,
+}
+
+/// The edges entering the nodes of one logic level, flattened for batched
+/// gather / scatter operations (the *topological batching* of Thost & Chen).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelBatch {
+    /// The logic level of the target nodes.
+    pub level: usize,
+    /// Target node indices updated in this batch.
+    pub targets: Vec<usize>,
+    /// Source node index of every incoming edge.
+    pub edge_src: Vec<usize>,
+    /// For every edge, the position of its target inside `targets` (the
+    /// segment id used for scatter-add and segment-softmax).
+    pub edge_seg: Vec<usize>,
+}
+
+/// A circuit prepared for GNN consumption.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitGraph {
+    /// Design name.
+    pub name: String,
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// The feature encoding in use.
+    pub encoding: FeatureEncoding,
+    /// `[num_nodes, encoding.dimension()]` one-hot gate-type features.
+    pub features: Tensor,
+    /// Per-node logic level.
+    pub levels: Vec<usize>,
+    /// Maximum logic level (circuit depth).
+    pub max_level: usize,
+    /// `true` for nodes that are logic gates (not primary inputs or
+    /// constants); evaluation metrics are computed over these nodes.
+    pub gate_mask: Vec<bool>,
+    /// Directed edges `(fanin, node)` of the circuit DAG.
+    pub edges: Vec<(usize, usize)>,
+    /// Forward level batches in ascending level order (level ≥ 1).
+    pub forward_batches: Vec<LevelBatch>,
+    /// Reverse level batches in descending level order; targets receive
+    /// messages from their fan-outs.
+    pub reverse_batches: Vec<LevelBatch>,
+    /// Skip edges from reconvergence analysis.
+    pub skip_edges: Vec<SkipEdge>,
+    /// Per-node skip edge indexed by target node (at most one per node).
+    skip_by_target: Vec<Option<SkipEdge>>,
+    /// Optional per-node signal-probability labels.
+    pub labels: Option<Vec<f32>>,
+}
+
+impl CircuitGraph {
+    /// Builds a circuit graph from a gate-level netlist.
+    ///
+    /// `labels`, when given, must hold one signal probability per netlist
+    /// node (indexed by [`deepgate_netlist::NodeId::index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `encoding` is [`FeatureEncoding::AigGates`] and the netlist
+    /// contains gates outside the PI/AND/NOT alphabet, or if `labels` has the
+    /// wrong length.
+    pub fn from_netlist(
+        netlist: &Netlist,
+        encoding: FeatureEncoding,
+        labels: Option<Vec<f32>>,
+    ) -> Self {
+        let n = netlist.len();
+        if let Some(l) = &labels {
+            assert_eq!(l.len(), n, "labels must cover every netlist node");
+        }
+        let mut features = Tensor::zeros(n, encoding.dimension());
+        let mut gate_mask = vec![false; n];
+        for (id, node) in netlist.iter() {
+            features.set(id.index(), encoding.index_of(node.kind), 1.0);
+            gate_mask[id.index()] = node.kind.is_gate();
+        }
+        let level_info = netlist.levels();
+        let levels = level_info.level.clone();
+        let max_level = level_info.max_level;
+
+        let mut edges = Vec::new();
+        for (id, node) in netlist.iter() {
+            for f in &node.fanins {
+                edges.push((f.index(), id.index()));
+            }
+        }
+
+        let forward_batches = build_forward_batches(netlist, &levels, max_level);
+        let reverse_batches = build_reverse_batches(netlist, &levels, max_level);
+
+        let recon = ReconvergenceAnalysis::of_netlist(netlist, ReconvergenceConfig::default());
+        let mut skip_edges = Vec::new();
+        let mut skip_by_target = vec![None; n];
+        for (target, info) in recon.per_node().iter().enumerate() {
+            if let Some(info) = info {
+                let edge = SkipEdge {
+                    source: info.source,
+                    target,
+                    level_difference: info.level_difference,
+                };
+                skip_edges.push(edge);
+                skip_by_target[target] = Some(edge);
+            }
+        }
+
+        CircuitGraph {
+            name: netlist.name().to_string(),
+            num_nodes: n,
+            encoding,
+            features,
+            levels,
+            max_level,
+            gate_mask,
+            edges,
+            forward_batches,
+            reverse_batches,
+            skip_edges,
+            skip_by_target,
+            labels,
+        }
+    }
+
+    /// Builds a circuit graph from an AIG by expanding it into an explicit
+    /// PI/AND/NOT netlist first. Returns the graph together with the
+    /// expanded netlist (which is what labels must be computed against).
+    pub fn from_aig(aig: &Aig) -> (Self, Netlist) {
+        let netlist = aig.to_netlist();
+        let graph = CircuitGraph::from_netlist(&netlist, FeatureEncoding::AigGates, None);
+        (graph, netlist)
+    }
+
+    /// Attaches per-node labels (signal probabilities).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match the node count.
+    pub fn set_labels(&mut self, labels: Vec<f32>) {
+        assert_eq!(labels.len(), self.num_nodes, "label count mismatch");
+        self.labels = Some(labels);
+    }
+
+    /// The skip edge ending at `target`, if that node is a reconvergence
+    /// node.
+    pub fn skip_edge_for(&self, target: usize) -> Option<SkipEdge> {
+        self.skip_by_target.get(target).copied().flatten()
+    }
+
+    /// Number of logic-gate nodes (excludes primary inputs and constants).
+    pub fn num_gates(&self) -> usize {
+        self.gate_mask.iter().filter(|&&g| g).count()
+    }
+
+    /// The positional encoding γ(D) of a skip edge's level difference
+    /// (Eq. 7), with `l` frequency pairs.
+    pub fn skip_edge_encoding(edge: SkipEdge, l: usize) -> Vec<f32> {
+        positional_encoding(edge.level_difference, l)
+    }
+
+    /// Labels as a `[num_nodes, 1]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no labels are attached.
+    pub fn label_tensor(&self) -> Tensor {
+        let labels = self
+            .labels
+            .as_ref()
+            .expect("circuit graph has no labels attached");
+        Tensor::column(labels)
+    }
+}
+
+fn build_forward_batches(netlist: &Netlist, levels: &[usize], max_level: usize) -> Vec<LevelBatch> {
+    let mut batches = Vec::new();
+    for level in 1..=max_level {
+        let mut targets = Vec::new();
+        let mut edge_src = Vec::new();
+        let mut edge_seg = Vec::new();
+        for (id, node) in netlist.iter() {
+            if levels[id.index()] != level || node.fanins.is_empty() {
+                continue;
+            }
+            let seg = targets.len();
+            targets.push(id.index());
+            for f in &node.fanins {
+                edge_src.push(f.index());
+                edge_seg.push(seg);
+            }
+        }
+        if !targets.is_empty() {
+            batches.push(LevelBatch {
+                level,
+                targets,
+                edge_src,
+                edge_seg,
+            });
+        }
+    }
+    batches
+}
+
+fn build_reverse_batches(netlist: &Netlist, levels: &[usize], max_level: usize) -> Vec<LevelBatch> {
+    // Forward adjacency: fanouts of every node.
+    let mut fanouts: Vec<Vec<usize>> = vec![Vec::new(); netlist.len()];
+    for (id, node) in netlist.iter() {
+        for f in &node.fanins {
+            fanouts[f.index()].push(id.index());
+        }
+    }
+    let mut batches = Vec::new();
+    // Descending level order: a node's fan-outs sit at strictly higher levels
+    // and therefore have already been updated when the node is processed.
+    for level in (0..max_level).rev() {
+        let mut targets = Vec::new();
+        let mut edge_src = Vec::new();
+        let mut edge_seg = Vec::new();
+        for (id, _) in netlist.iter() {
+            let idx = id.index();
+            if levels[idx] != level || fanouts[idx].is_empty() {
+                continue;
+            }
+            let seg = targets.len();
+            targets.push(idx);
+            for &s in &fanouts[idx] {
+                edge_src.push(s);
+                edge_seg.push(seg);
+            }
+        }
+        if !targets.is_empty() {
+            batches.push(LevelBatch {
+                level,
+                targets,
+                edge_src,
+                edge_seg,
+            });
+        }
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepgate_netlist::GateKind;
+
+    fn small_netlist() -> Netlist {
+        let mut n = Netlist::new("g");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g1 = n.add_gate(GateKind::And, &[a, b]).unwrap();
+        let g2 = n.add_gate(GateKind::Not, &[g1]).unwrap();
+        let g3 = n.add_gate(GateKind::And, &[g1, g2]).unwrap();
+        n.mark_output(g3, "y");
+        n
+    }
+
+    #[test]
+    fn features_are_one_hot() {
+        let n = small_netlist();
+        let graph = CircuitGraph::from_netlist(&n, FeatureEncoding::AigGates, None);
+        assert_eq!(graph.features.shape(), [5, 3]);
+        for i in 0..graph.num_nodes {
+            let row_sum: f32 = graph.features.row(i).iter().sum();
+            assert_eq!(row_sum, 1.0);
+        }
+        // PI rows have feature 0 set; AND rows feature 1; NOT rows feature 2.
+        assert_eq!(graph.features.get(0, 0), 1.0);
+        assert_eq!(graph.features.get(2, 1), 1.0);
+        assert_eq!(graph.features.get(3, 2), 1.0);
+        assert_eq!(graph.num_gates(), 3);
+    }
+
+    #[test]
+    fn all_gates_encoding_has_full_dimension() {
+        let n = small_netlist();
+        let graph = CircuitGraph::from_netlist(&n, FeatureEncoding::AllGates, None);
+        assert_eq!(graph.features.cols(), GateKind::ALL.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of the AIG alphabet")]
+    fn aig_encoding_rejects_foreign_gates() {
+        let mut n = Netlist::new("bad");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let _ = n.add_gate(GateKind::Or, &[a, b]).unwrap();
+        let _ = CircuitGraph::from_netlist(&n, FeatureEncoding::AigGates, None);
+    }
+
+    #[test]
+    fn forward_batches_cover_all_gates_once() {
+        let n = small_netlist();
+        let graph = CircuitGraph::from_netlist(&n, FeatureEncoding::AigGates, None);
+        let covered: usize = graph.forward_batches.iter().map(|b| b.targets.len()).sum();
+        assert_eq!(covered, graph.num_gates());
+        // Batch levels are strictly ascending and edges reference earlier
+        // levels only.
+        let mut prev_level = 0;
+        for batch in &graph.forward_batches {
+            assert!(batch.level > prev_level);
+            prev_level = batch.level;
+            assert_eq!(batch.edge_src.len(), batch.edge_seg.len());
+            for (&src, &seg) in batch.edge_src.iter().zip(&batch.edge_seg) {
+                assert!(graph.levels[src] < batch.level);
+                assert!(seg < batch.targets.len());
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_batches_point_to_successors() {
+        let n = small_netlist();
+        let graph = CircuitGraph::from_netlist(&n, FeatureEncoding::AigGates, None);
+        // Reverse batches are in descending level order and sources are at
+        // strictly higher levels.
+        let mut prev = usize::MAX;
+        for batch in &graph.reverse_batches {
+            assert!(batch.level < prev);
+            prev = batch.level;
+            for &src in &batch.edge_src {
+                assert!(graph.levels[src] > batch.level);
+            }
+        }
+        // Every node with at least one fan-out appears exactly once.
+        let covered: usize = graph.reverse_batches.iter().map(|b| b.targets.len()).sum();
+        assert_eq!(covered, 4); // a, b, g1, g2 have fan-outs; g3 does not.
+    }
+
+    #[test]
+    fn skip_edges_found_for_reconvergent_netlist() {
+        let n = small_netlist();
+        let graph = CircuitGraph::from_netlist(&n, FeatureEncoding::AigGates, None);
+        // g3 reconverges on g1 (through the direct edge and through g2).
+        assert_eq!(graph.skip_edges.len(), 1);
+        let edge = graph.skip_edges[0];
+        assert_eq!(edge.source, 2);
+        assert_eq!(edge.target, 4);
+        assert_eq!(graph.skip_edge_for(4), Some(edge));
+        assert_eq!(graph.skip_edge_for(1), None);
+        let enc = CircuitGraph::skip_edge_encoding(edge, 8);
+        assert_eq!(enc.len(), 16);
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let n = small_netlist();
+        let mut graph = CircuitGraph::from_netlist(&n, FeatureEncoding::AigGates, None);
+        graph.set_labels(vec![0.5, 0.5, 0.25, 0.75, 0.1875]);
+        let t = graph.label_tensor();
+        assert_eq!(t.shape(), [5, 1]);
+        assert_eq!(t.get(2, 0), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn wrong_label_count_panics() {
+        let n = small_netlist();
+        let mut graph = CircuitGraph::from_netlist(&n, FeatureEncoding::AigGates, None);
+        graph.set_labels(vec![0.1]);
+    }
+
+    #[test]
+    fn from_aig_expands_and_builds() {
+        let mut aig = Aig::new("x");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let x = aig.xor(a, b);
+        aig.add_output(x, "y");
+        let (graph, netlist) = CircuitGraph::from_aig(&aig);
+        assert_eq!(graph.num_nodes, netlist.len());
+        assert_eq!(graph.encoding, FeatureEncoding::AigGates);
+        assert!(graph.num_gates() > 0);
+    }
+}

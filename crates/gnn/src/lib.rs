@@ -1,0 +1,34 @@
+//! DAG-GNN framework and baseline model zoo for the DeepGate reproduction.
+//!
+//! The DeepGate paper compares its model against three GNN families — GCN,
+//! DAG-ConvGNN and DAG-RecGNN — each instantiated with four aggregator
+//! designs (Conv. Sum, Attention, DeepSet, GatedSum). This crate provides:
+//!
+//! - [`CircuitGraph`] — the learning representation of a circuit: one-hot
+//!   gate-type features, predecessor edge lists grouped by logic level
+//!   (*topological batching*), optional signal-probability labels and the
+//!   reconvergence skip edges with their positional encodings.
+//! - [`Aggregator`] — the four aggregation functions of the paper, built on
+//!   the gather / scatter-add / segment-softmax ops of `deepgate-nn`.
+//! - [`Gcn`], [`DagConvGnn`], [`DagRecGnn`] — the baseline models, all
+//!   implementing [`ProbabilityModel`] so the trainer and the benchmark
+//!   harness treat every model uniformly.
+//!
+//! The DeepGate model itself (attention + skip connections + fixed gate-type
+//! input) lives in `deepgate-core` and reuses the same building blocks.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregator;
+mod dag_conv;
+mod dag_rec;
+mod gcn;
+mod graph;
+mod model;
+
+pub use aggregator::{Aggregator, AggregatorKind};
+pub use dag_conv::{DagConvConfig, DagConvGnn};
+pub use dag_rec::{DagRecConfig, DagRecGnn};
+pub use gcn::{Gcn, GcnConfig};
+pub use graph::{CircuitGraph, FeatureEncoding, LevelBatch, SkipEdge};
+pub use model::{evaluate_prediction_error, masked_l1_loss, ProbabilityModel};

@@ -1,0 +1,142 @@
+//! The common interface all probability-prediction models implement.
+
+use crate::CircuitGraph;
+use deepgate_nn::{Graph, ParamStore, Tensor, Var};
+
+/// A model that predicts the signal probability of every node of a circuit.
+///
+/// The trainer in `deepgate-core` and the benchmark harness treat every model
+/// — GCN, DAG-ConvGNN, DAG-RecGNN and DeepGate itself — through this trait,
+/// which keeps the comparison of Table II honest: they share the same data
+/// pipeline, the same loss and the same evaluation metric.
+pub trait ProbabilityModel {
+    /// Builds the forward pass on the autodiff tape and returns the
+    /// `[num_nodes, 1]` prediction variable (values in `[0, 1]`).
+    fn forward(&self, g: &mut Graph, store: &ParamStore, circuit: &CircuitGraph) -> Var;
+
+    /// Gradient-free forward pass; the default implementation runs the tape
+    /// forward and extracts the values, models override it with a cheaper
+    /// tensor-only path for inference on large circuits.
+    fn predict(&self, store: &ParamStore, circuit: &CircuitGraph) -> Vec<f32> {
+        let mut g = Graph::new();
+        let pred = self.forward(&mut g, store, circuit);
+        g.value(pred).as_slice().to_vec()
+    }
+
+    /// A short, human-readable model name (used in experiment tables).
+    fn name(&self) -> String;
+}
+
+/// Average prediction error (Eq. 8 of the paper): the mean absolute
+/// difference between predictions and labels.
+///
+/// The error is computed over logic-gate nodes only (primary inputs have a
+/// trivially known probability of 0.5 and would dilute the metric).
+///
+/// # Panics
+///
+/// Panics if the circuit has no labels or the prediction length mismatches.
+pub fn evaluate_prediction_error(predictions: &[f32], circuit: &CircuitGraph) -> f64 {
+    let labels = circuit
+        .labels
+        .as_ref()
+        .expect("circuit graph has no labels attached");
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "prediction / label length mismatch"
+    );
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    for i in 0..labels.len() {
+        if circuit.gate_mask[i] {
+            sum += (predictions[i] as f64 - labels[i] as f64).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Computes the L1 training loss over gate nodes on the tape: predictions and
+/// labels are masked so primary inputs do not contribute gradient.
+///
+/// # Panics
+///
+/// Panics if the circuit has no labels.
+pub fn masked_l1_loss(
+    g: &mut Graph,
+    predictions: Var,
+    circuit: &CircuitGraph,
+) -> Var {
+    let labels = circuit.label_tensor();
+    let mask: Vec<f32> = circuit
+        .gate_mask
+        .iter()
+        .map(|&m| if m { 1.0 } else { 0.0 })
+        .collect();
+    let num_gates = circuit.num_gates().max(1) as f32;
+    let mask_t = g.input(Tensor::column(&mask));
+    let masked_pred = g.mul(predictions, mask_t);
+    let masked_labels = Tensor::column(
+        &labels
+            .as_slice()
+            .iter()
+            .zip(&mask)
+            .map(|(&l, &m)| l * m)
+            .collect::<Vec<f32>>(),
+    );
+    // Mean over all nodes rescaled to a mean over gate nodes.
+    let raw = g.l1_loss(masked_pred, &masked_labels);
+    g.scale(raw, circuit.num_nodes as f32 / num_gates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FeatureEncoding;
+    use deepgate_netlist::{GateKind, Netlist};
+
+    fn labelled_graph() -> CircuitGraph {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g1 = n.add_gate(GateKind::And, &[a, b]).unwrap();
+        n.mark_output(g1, "y");
+        let mut graph = CircuitGraph::from_netlist(&n, FeatureEncoding::AigGates, None);
+        graph.set_labels(vec![0.5, 0.5, 0.25]);
+        graph
+    }
+
+    #[test]
+    fn prediction_error_only_counts_gates() {
+        let graph = labelled_graph();
+        // Inputs are wrong by 0.5 but must not count; the gate is wrong by 0.05.
+        let err = evaluate_prediction_error(&[0.0, 1.0, 0.30], &graph);
+        assert!((err - 0.05).abs() < 1e-6);
+        // Perfect prediction gives zero error.
+        assert_eq!(evaluate_prediction_error(&[0.5, 0.5, 0.25], &graph), 0.0);
+    }
+
+    #[test]
+    fn masked_loss_ignores_input_nodes() {
+        let graph = labelled_graph();
+        let mut store = deepgate_nn::ParamStore::new();
+        let mut g = Graph::new();
+        // Predictions that are perfect on the gate but wrong on the inputs.
+        let pred = g.input(Tensor::column(&[0.9, 0.1, 0.25]));
+        let loss = masked_l1_loss(&mut g, pred, &graph);
+        assert!(g.value(loss).get(0, 0).abs() < 1e-6);
+        let _ = &mut store;
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn prediction_error_checks_lengths() {
+        let graph = labelled_graph();
+        let _ = evaluate_prediction_error(&[0.1], &graph);
+    }
+}

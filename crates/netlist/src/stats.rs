@@ -1,0 +1,118 @@
+//! Structural statistics of netlists.
+//!
+//! [`NetlistStats`] captures the quantities reported in Table I of the
+//! DeepGate paper (node count, logic depth) plus a gate-kind histogram and
+//! fan-out statistics that the dataset generators use to match suite
+//! characteristics.
+
+use crate::{GateKind, Netlist};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics of a [`Netlist`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetlistStats {
+    /// Design name.
+    pub name: String,
+    /// Total node count (inputs + constants + gates).
+    pub num_nodes: usize,
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Number of primary outputs.
+    pub num_outputs: usize,
+    /// Number of logic gates.
+    pub num_gates: usize,
+    /// Circuit depth (maximum logic level).
+    pub depth: usize,
+    /// Histogram of gate kinds indexed by [`GateKind::one_hot_index`].
+    pub kind_histogram: Vec<usize>,
+    /// Maximum fan-out over all nodes.
+    pub max_fanout: usize,
+    /// Average fan-out over all nodes with at least one fan-out.
+    pub mean_fanout: f64,
+    /// Number of nodes with fan-out ≥ 2 (candidate reconvergence sources).
+    pub num_fanout_nodes: usize,
+}
+
+impl NetlistStats {
+    /// Computes statistics for a netlist.
+    pub fn of(netlist: &Netlist) -> Self {
+        let levels = netlist.levels();
+        let fanouts = netlist.fanout_counts();
+        let hist = crate::graph::kind_histogram(netlist);
+        let driven: Vec<usize> = fanouts.iter().copied().filter(|&c| c > 0).collect();
+        let mean_fanout = if driven.is_empty() {
+            0.0
+        } else {
+            driven.iter().sum::<usize>() as f64 / driven.len() as f64
+        };
+        NetlistStats {
+            name: netlist.name().to_string(),
+            num_nodes: netlist.len(),
+            num_inputs: netlist.num_inputs(),
+            num_outputs: netlist.num_outputs(),
+            num_gates: netlist.num_gates(),
+            depth: levels.max_level,
+            kind_histogram: hist.to_vec(),
+            max_fanout: fanouts.iter().copied().max().unwrap_or(0),
+            mean_fanout,
+            num_fanout_nodes: fanouts.iter().filter(|&&c| c >= 2).count(),
+        }
+    }
+
+    /// Number of gates of a specific kind.
+    pub fn count_of(&self, kind: GateKind) -> usize {
+        self.kind_histogram[kind.one_hot_index()]
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} nodes, {} PIs, {} POs, {} gates, depth {}, max fan-out {}",
+            self.name,
+            self.num_nodes,
+            self.num_inputs,
+            self.num_outputs,
+            self.num_gates,
+            self.depth,
+            self.max_fanout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    #[test]
+    fn stats_of_small_circuit() {
+        let mut n = Netlist::new("s");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g1 = n.add_gate(GateKind::And, &[a, b]).unwrap();
+        let g2 = n.add_gate(GateKind::Not, &[g1]).unwrap();
+        let g3 = n.add_gate(GateKind::Or, &[g1, g2]).unwrap();
+        n.mark_output(g3, "y");
+        let stats = n.stats();
+        assert_eq!(stats.num_nodes, 5);
+        assert_eq!(stats.num_gates, 3);
+        assert_eq!(stats.depth, 3);
+        assert_eq!(stats.count_of(GateKind::And), 1);
+        assert_eq!(stats.count_of(GateKind::Input), 2);
+        assert_eq!(stats.max_fanout, 2); // g1 feeds g2 and g3
+        assert_eq!(stats.num_fanout_nodes, 1);
+        assert!(stats.to_string().contains("5 nodes"));
+    }
+
+    #[test]
+    fn stats_of_empty_netlist() {
+        let n = Netlist::new("empty");
+        let stats = n.stats();
+        assert_eq!(stats.num_nodes, 0);
+        assert_eq!(stats.mean_fanout, 0.0);
+        assert_eq!(stats.max_fanout, 0);
+    }
+}

@@ -1,0 +1,504 @@
+//! Writer and reader for a structural gate-level Verilog subset.
+//!
+//! Benchmarks such as IWLS'05 and OpenCores circulate as structural Verilog
+//! netlists; this module provides the interchange path next to the BENCH
+//! format. The supported subset is the one gate-level netlists actually use:
+//! one module, `input`/`output`/`wire` declarations and primitive gate
+//! instantiations (`and`, `nand`, `or`, `nor`, `xor`, `xnor`, `not`, `buf`)
+//! with an output-first port list. Behavioural constructs, vectors and
+//! hierarchy are rejected with a parse error.
+//!
+//! ```text
+//! module c17 (g1, g2, g3, g7);
+//!   input g1, g2, g3;
+//!   output g7;
+//!   wire g4, g5, g6;
+//!   nand u0 (g4, g1, g2);
+//!   nand u1 (g5, g2, g3);
+//!   nand u2 (g6, g4, g5);
+//!   not  u3 (g7, g6);
+//! endmodule
+//! ```
+
+use crate::{GateKind, Netlist, NetlistError, NodeId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Writes a [`Netlist`] as structural Verilog.
+///
+/// Multiplexers and constants (which have no Verilog gate primitive) are
+/// lowered to primitive gates on the fly, so the output is always accepted by
+/// [`parse`].
+pub fn write(netlist: &Netlist) -> String {
+    let signal = |id: NodeId| -> String {
+        netlist
+            .node_name(id)
+            .map(sanitise_identifier)
+            .unwrap_or_else(|| format!("n{}", id.index()))
+    };
+    let mut body = String::new();
+    let mut wires: Vec<String> = Vec::new();
+    let mut instance = 0usize;
+    let emit = |body: &mut String, kind: &str, out: &str, ins: &[String], instance: &mut usize| {
+        let _ = writeln!(body, "  {kind} u{instance} ({out}, {});", ins.join(", "));
+        *instance += 1;
+    };
+
+    for (id, node) in netlist.iter() {
+        let out = signal(id);
+        match node.kind {
+            GateKind::Input => continue,
+            GateKind::Const0 => {
+                // 0 = x & ~x needs a helper; use `and` of a wire with its
+                // negation through an auxiliary net.
+                let aux = format!("{out}_aux");
+                wires.push(aux.clone());
+                wires.push(out.clone());
+                // Tie the auxiliary net to an arbitrary existing signal: the
+                // first primary input, or itself when there are none (then
+                // the constant is still well-defined as x & ~x).
+                let base = netlist
+                    .inputs()
+                    .first()
+                    .map(|&pi| signal(pi))
+                    .unwrap_or_else(|| aux.clone());
+                emit(&mut body, "not", &aux, &[base.clone()], &mut instance);
+                emit(&mut body, "and", &out, &[base, aux], &mut instance);
+            }
+            GateKind::Const1 => {
+                let aux = format!("{out}_aux");
+                wires.push(aux.clone());
+                wires.push(out.clone());
+                let base = netlist
+                    .inputs()
+                    .first()
+                    .map(|&pi| signal(pi))
+                    .unwrap_or_else(|| aux.clone());
+                emit(&mut body, "not", &aux, &[base.clone()], &mut instance);
+                emit(&mut body, "or", &out, &[base, aux], &mut instance);
+            }
+            GateKind::Mux => {
+                // y = (~s & a) | (s & b), lowered to primitives.
+                let s = signal(node.fanins[0]);
+                let a = signal(node.fanins[1]);
+                let b = signal(node.fanins[2]);
+                let ns = format!("{out}_ns");
+                let ta = format!("{out}_ta");
+                let tb = format!("{out}_tb");
+                for w in [&ns, &ta, &tb, &out] {
+                    wires.push(w.clone());
+                }
+                emit(&mut body, "not", &ns, &[s.clone()], &mut instance);
+                emit(&mut body, "and", &ta, &[ns, a], &mut instance);
+                emit(&mut body, "and", &tb, &[s, b], &mut instance);
+                emit(&mut body, "or", &out, &[ta, tb], &mut instance);
+            }
+            kind => {
+                wires.push(out.clone());
+                let primitive = match kind {
+                    GateKind::And => "and",
+                    GateKind::Nand => "nand",
+                    GateKind::Or => "or",
+                    GateKind::Nor => "nor",
+                    GateKind::Xor => "xor",
+                    GateKind::Xnor => "xnor",
+                    GateKind::Not => "not",
+                    GateKind::Buf => "buf",
+                    _ => unreachable!("handled above"),
+                };
+                let ins: Vec<String> = node.fanins.iter().map(|&f| signal(f)).collect();
+                emit(&mut body, primitive, &out, &ins, &mut instance);
+            }
+        }
+    }
+
+    let inputs: Vec<String> = netlist.inputs().iter().map(|&i| signal(i)).collect();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut output_aliases = String::new();
+    for (po, name) in netlist.outputs() {
+        let name = sanitise_identifier(name);
+        let driver = signal(*po);
+        if driver != name {
+            let _ = writeln!(output_aliases, "  buf alias_{} ({name}, {driver});", outputs.len());
+        }
+        outputs.push(name);
+    }
+
+    let module_name = sanitise_identifier(netlist.name());
+    let ports: Vec<String> = inputs.iter().chain(outputs.iter()).cloned().collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "// generated by deepgate-netlist");
+    let _ = writeln!(out, "module {module_name} ({});", ports.join(", "));
+    if !inputs.is_empty() {
+        let _ = writeln!(out, "  input {};", inputs.join(", "));
+    }
+    if !outputs.is_empty() {
+        let _ = writeln!(out, "  output {};", outputs.join(", "));
+    }
+    // Wires: internal nets that are not ports.
+    wires.retain(|w| !inputs.contains(w) && !outputs.contains(w));
+    wires.sort();
+    wires.dedup();
+    if !wires.is_empty() {
+        let _ = writeln!(out, "  wire {};", wires.join(", "));
+    }
+    out.push_str(&body);
+    out.push_str(&output_aliases);
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+fn sanitise_identifier(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if s.is_empty() || s.chars().next().expect("non-empty").is_ascii_digit() {
+        s.insert(0, '_');
+    }
+    s
+}
+
+/// Parses the structural Verilog subset back into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for constructs outside the subset
+/// (multiple modules, vectors, assigns, behavioural blocks) and the usual
+/// [`NetlistError::UndefinedSignal`] / [`NetlistError::DuplicateSignal`]
+/// errors for inconsistent netlists.
+pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
+    // Strip comments, then split into `;`-terminated statements.
+    let mut cleaned = String::with_capacity(text.len());
+    for line in text.lines() {
+        let line = line.split("//").next().unwrap_or("");
+        cleaned.push_str(line);
+        cleaned.push('\n');
+    }
+    // Remove block comments.
+    while let (Some(start), Some(end)) = (cleaned.find("/*"), cleaned.find("*/")) {
+        if end > start {
+            cleaned.replace_range(start..end + 2, " ");
+        } else {
+            break;
+        }
+    }
+
+    let mut module_name = String::from("top");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    struct GateInst {
+        kind: GateKind,
+        output: String,
+        inputs: Vec<String>,
+        line: usize,
+    }
+    let mut gates: Vec<GateInst> = Vec::new();
+    let mut seen_module = false;
+    let mut seen_endmodule = false;
+
+    for (stmt_no, raw) in cleaned.split(';').enumerate() {
+        let stmt = raw.replace(['\n', '\r'], " ");
+        let stmt = stmt.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        if stmt.contains("endmodule") {
+            seen_endmodule = true;
+            let rest = stmt.replace("endmodule", "");
+            if rest.trim().is_empty() {
+                continue;
+            }
+        }
+        let stmt = stmt.replace("endmodule", "");
+        let stmt = stmt.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        let mut tokens = stmt.split_whitespace();
+        let keyword = tokens.next().unwrap_or("");
+        match keyword {
+            "module" => {
+                if seen_module {
+                    return Err(NetlistError::Parse {
+                        line: stmt_no + 1,
+                        message: "multiple modules are not supported".into(),
+                    });
+                }
+                seen_module = true;
+                let rest = stmt["module".len()..].trim();
+                module_name = rest
+                    .split(|c: char| c == '(' || c.is_whitespace())
+                    .find(|s| !s.is_empty())
+                    .unwrap_or("top")
+                    .to_string();
+                // The port list itself carries no direction info; directions
+                // come from the input/output declarations.
+            }
+            "input" | "output" | "wire" => {
+                if stmt.contains('[') {
+                    return Err(NetlistError::Parse {
+                        line: stmt_no + 1,
+                        message: "vector declarations are not supported".into(),
+                    });
+                }
+                let names = stmt[keyword.len()..]
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty());
+                match keyword {
+                    "input" => inputs.extend(names),
+                    "output" => outputs.extend(names),
+                    _ => {} // wires are implicit
+                }
+            }
+            "assign" | "always" | "reg" | "initial" => {
+                return Err(NetlistError::Parse {
+                    line: stmt_no + 1,
+                    message: format!("`{keyword}` is outside the structural subset"),
+                });
+            }
+            primitive => {
+                let kind = match primitive {
+                    "and" => GateKind::And,
+                    "nand" => GateKind::Nand,
+                    "or" => GateKind::Or,
+                    "nor" => GateKind::Nor,
+                    "xor" => GateKind::Xor,
+                    "xnor" => GateKind::Xnor,
+                    "not" => GateKind::Not,
+                    "buf" => GateKind::Buf,
+                    other => {
+                        return Err(NetlistError::Parse {
+                            line: stmt_no + 1,
+                            message: format!("unknown gate primitive `{other}`"),
+                        })
+                    }
+                };
+                let open = stmt.find('(').ok_or_else(|| NetlistError::Parse {
+                    line: stmt_no + 1,
+                    message: "missing port list".into(),
+                })?;
+                let close = stmt.rfind(')').ok_or_else(|| NetlistError::Parse {
+                    line: stmt_no + 1,
+                    message: "missing closing `)`".into(),
+                })?;
+                let ports: Vec<String> = stmt[open + 1..close]
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if ports.len() < 2 {
+                    return Err(NetlistError::Parse {
+                        line: stmt_no + 1,
+                        message: "gate needs an output and at least one input".into(),
+                    });
+                }
+                gates.push(GateInst {
+                    kind,
+                    output: ports[0].clone(),
+                    inputs: ports[1..].to_vec(),
+                    line: stmt_no + 1,
+                });
+            }
+        }
+    }
+    if !seen_module || !seen_endmodule {
+        return Err(NetlistError::Parse {
+            line: 1,
+            message: "expected a single `module ... endmodule`".into(),
+        });
+    }
+
+    // Build the netlist: inputs first, then gates resolved to a fixpoint
+    // (instances may appear in any order).
+    let mut netlist = Netlist::new(module_name);
+    let mut by_name: HashMap<String, NodeId> = HashMap::new();
+    for name in &inputs {
+        if by_name.contains_key(name) {
+            return Err(NetlistError::DuplicateSignal(name.clone()));
+        }
+        let id = netlist.add_input(name.clone());
+        by_name.insert(name.clone(), id);
+    }
+    let mut remaining = gates;
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        let mut next = Vec::new();
+        for gate in remaining {
+            if by_name.contains_key(&gate.output) {
+                return Err(NetlistError::DuplicateSignal(gate.output));
+            }
+            let resolved: Option<Vec<NodeId>> = gate
+                .inputs
+                .iter()
+                .map(|n| by_name.get(n).copied())
+                .collect();
+            match resolved {
+                Some(fanins) => {
+                    let id = netlist
+                        .add_named_gate(gate.kind, &fanins, gate.output.clone())
+                        .map_err(|e| NetlistError::Parse {
+                            line: gate.line,
+                            message: e.to_string(),
+                        })?;
+                    by_name.insert(gate.output, id);
+                }
+                None => next.push(gate),
+            }
+        }
+        if next.len() == before {
+            let missing = next
+                .iter()
+                .flat_map(|g| g.inputs.iter())
+                .find(|n| !by_name.contains_key(*n))
+                .cloned()
+                .unwrap_or_else(|| next[0].output.clone());
+            return Err(NetlistError::UndefinedSignal(missing));
+        }
+        remaining = next;
+    }
+    for name in &outputs {
+        let id = by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| NetlistError::UndefinedSignal(name.clone()))?;
+        netlist.mark_output(id, name.clone());
+    }
+    Ok(netlist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17: &str = r"
+// ISCAS-85 c17 in structural verilog
+module c17 (g1, g2, g3, g7);
+  input g1, g2, g3;
+  output g7;
+  wire g4, g5, g6;
+  nand u0 (g4, g1, g2);
+  nand u1 (g5, g2, g3);
+  nand u2 (g6, g4, g5);
+  not  u3 (g7, g6);
+endmodule
+";
+
+    #[test]
+    fn parse_c17() {
+        let n = parse(C17).unwrap();
+        assert_eq!(n.name(), "c17");
+        assert_eq!(n.num_inputs(), 3);
+        assert_eq!(n.num_outputs(), 1);
+        assert_eq!(n.num_gates(), 4);
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let original = parse(C17).unwrap();
+        let text = write(&original);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.num_inputs(), original.num_inputs());
+        assert_eq!(parsed.num_outputs(), original.num_outputs());
+        assert_eq!(parsed.num_gates(), original.num_gates());
+    }
+
+    #[test]
+    fn writer_lowers_mux_and_constants() {
+        let mut n = Netlist::new("mix");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let s = n.add_input("s");
+        let one = n.add_const(true);
+        let m = n.add_gate(GateKind::Mux, &[s, a, b]).unwrap();
+        let y = n.add_gate(GateKind::And, &[m, one]).unwrap();
+        n.mark_output(y, "y");
+        let text = write(&n);
+        assert!(!text.contains("mux"));
+        let parsed = parse(&text).unwrap();
+        assert!(parsed.validate().is_ok());
+        // Functional check: outputs agree for a couple of patterns.
+        use crate::GateKind as G;
+        let eval = |net: &Netlist, pat: &[bool]| -> bool {
+            let mut values = vec![false; net.len()];
+            let mut input_pos = 0;
+            for (id, node) in net.iter() {
+                values[id.index()] = match node.kind {
+                    G::Input => {
+                        let v = pat[input_pos];
+                        input_pos += 1;
+                        v
+                    }
+                    G::Const0 => false,
+                    G::Const1 => true,
+                    kind => {
+                        let ins: Vec<bool> =
+                            node.fanins.iter().map(|f| values[f.index()]).collect();
+                        kind.eval_bool(&ins)
+                    }
+                };
+            }
+            values[net.outputs()[0].0.index()]
+        };
+        for bits in 0..8u8 {
+            let pat = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            assert_eq!(eval(&n, &pat), eval(&parsed, &pat), "pattern {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_constructs() {
+        assert!(parse("module m (a); input a; assign b = a; endmodule").is_err());
+        assert!(parse("module m (a); input [3:0] a; endmodule").is_err());
+        assert!(parse("module m (a); input a; foo u0 (a, a); endmodule").is_err());
+        assert!(parse("module m (a); input a;").is_err()); // no endmodule
+        assert!(parse("module m (); module n (); endmodule endmodule").is_err());
+    }
+
+    #[test]
+    fn reports_undefined_and_duplicate_signals() {
+        let undefined = "module m (y); output y; and u0 (y, ghost, ghost); endmodule";
+        assert!(matches!(
+            parse(undefined),
+            Err(NetlistError::UndefinedSignal(_))
+        ));
+        let duplicate =
+            "module m (a, y); input a; output y; not u0 (y, a); not u1 (y, a); endmodule";
+        assert!(matches!(
+            parse(duplicate),
+            Err(NetlistError::DuplicateSignal(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_order_instances_resolve() {
+        let text = r"
+module ooo (a, b, y);
+  input a, b;
+  output y;
+  wire w;
+  and u1 (y, w, b);
+  not u0 (w, a);
+endmodule
+";
+        let n = parse(text).unwrap();
+        assert_eq!(n.num_gates(), 2);
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn sanitises_awkward_identifiers() {
+        let mut n = Netlist::new("top-level design");
+        let a = n.add_input("data[0]");
+        let g = n.add_gate(GateKind::Not, &[a]).unwrap();
+        n.mark_output(g, "out.q");
+        let text = write(&n);
+        assert!(text.contains("module top_level_design"));
+        assert!(text.contains("data_0_"));
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.num_inputs(), 1);
+        assert_eq!(parsed.num_outputs(), 1);
+    }
+}

@@ -1,0 +1,58 @@
+use std::fmt;
+
+/// Errors produced when loading or saving model parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A parameter present in the checkpoint is missing from the store (or
+    /// vice versa).
+    MissingParameter(String),
+    /// A parameter in the checkpoint has a different shape than the store.
+    ShapeMismatch {
+        /// Parameter name.
+        name: String,
+        /// Shape in the store.
+        expected: Vec<usize>,
+        /// Shape in the checkpoint.
+        got: Vec<usize>,
+    },
+    /// The checkpoint text could not be parsed.
+    Serde(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::MissingParameter(name) => write!(f, "missing parameter `{name}`"),
+            NnError::ShapeMismatch {
+                name,
+                expected,
+                got,
+            } => write!(
+                f,
+                "parameter `{name}` has shape {got:?}, expected {expected:?}"
+            ),
+            NnError::Serde(msg) => write!(f, "checkpoint (de)serialisation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_traits() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+        assert!(NnError::MissingParameter("w".into()).to_string().contains("w"));
+        let e = NnError::ShapeMismatch {
+            name: "w".into(),
+            expected: vec![2, 2],
+            got: vec![3, 2],
+        };
+        assert!(e.to_string().contains("[3, 2]"));
+    }
+}

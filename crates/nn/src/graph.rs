@@ -1,0 +1,829 @@
+//! A dynamic reverse-mode automatic-differentiation tape.
+//!
+//! Each forward pass of a model builds a fresh [`Graph`]; every operation
+//! records its inputs so [`Graph::backward`] can propagate gradients in
+//! reverse topological order and accumulate them into the [`ParamStore`].
+//!
+//! Besides the usual dense ops, the tape provides three ops that make
+//! message passing over circuit DAGs efficient:
+//!
+//! - [`Graph::gather_rows`] — select the hidden states of a node's
+//!   predecessors (one gather per topological level).
+//! - [`Graph::scatter_add_rows`] — sum messages back onto their target
+//!   nodes.
+//! - [`Graph::segment_softmax`] — softmax over each node's predecessor set,
+//!   the normalisation used by DeepGate's additive attention (Eq. 5).
+
+use crate::{ParamId, ParamStore, Tensor};
+
+/// Handle to a value on the autodiff tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    Param(ParamId),
+    Matmul(Var, Var),
+    Add(Var, Var),
+    AddRow(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    MulCol(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    Relu(Var),
+    OneMinus(Var),
+    ConcatCols(Var, Var),
+    GatherRows(Var, Vec<usize>),
+    ScatterAddRows(Var, Vec<usize>),
+    SegmentSoftmax(Var, Vec<usize>),
+    SumAll(Var),
+    MeanAll(Var),
+    L1Loss(Var, Tensor),
+    MseLoss(Var, Tensor),
+}
+
+#[derive(Debug, Clone)]
+struct TapeNode {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+}
+
+/// A reverse-mode autodiff tape.
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<TapeNode>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    /// Number of recorded tape entries.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of a variable.
+    pub fn value(&self, var: Var) -> &Tensor {
+        &self.nodes[var.0].value
+    }
+
+    /// The gradient of a variable after [`Graph::backward`], if it received
+    /// one.
+    pub fn grad(&self, var: Var) -> Option<&Tensor> {
+        self.nodes[var.0].grad.as_ref()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(TapeNode {
+            value,
+            grad: None,
+            op,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Records a constant input (no gradient flows into it).
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Records a trainable parameter; its gradient is accumulated into the
+    /// store on [`Graph::backward`].
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(store.value(id).clone(), Op::Param(id))
+    }
+
+    /// Matrix product `a @ b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions do not match.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(value, Op::Matmul(a, b))
+    }
+
+    /// Element-wise sum of two equally-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).add(self.value(b));
+        self.push(value, Op::Add(a, b))
+    }
+
+    /// Adds a `[1, d]` row vector to every row of a `[n, d]` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is not `[1, d]` with matching `d`.
+    pub fn add_row(&mut self, a: Var, row: Var) -> Var {
+        let m = self.value(a);
+        let r = self.value(row);
+        assert_eq!(r.rows(), 1, "add_row expects a [1, d] row vector");
+        assert_eq!(m.cols(), r.cols(), "add_row column mismatch");
+        let mut out = m.clone();
+        for i in 0..out.rows() {
+            for j in 0..out.cols() {
+                out.set(i, j, out.get(i, j) + r.get(0, j));
+            }
+        }
+        self.push(out, Op::AddRow(a, row))
+    }
+
+    /// Element-wise difference `a - b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).sub(self.value(b));
+        self.push(value, Op::Sub(a, b))
+    }
+
+    /// Element-wise product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).mul(self.value(b));
+        self.push(value, Op::Mul(a, b))
+    }
+
+    /// Broadcasts a `[k, 1]` column over the columns of a `[k, d]` matrix and
+    /// multiplies element-wise (used to weight messages by attention
+    /// coefficients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are incompatible.
+    pub fn mul_col(&mut self, col: Var, mat: Var) -> Var {
+        let c = self.value(col);
+        let m = self.value(mat);
+        assert_eq!(c.cols(), 1, "mul_col expects a [k, 1] column");
+        assert_eq!(c.rows(), m.rows(), "mul_col row mismatch");
+        let mut out = m.clone();
+        for i in 0..out.rows() {
+            let w = c.get(i, 0);
+            for j in 0..out.cols() {
+                out.set(i, j, out.get(i, j) * w);
+            }
+        }
+        self.push(out, Op::MulCol(col, mat))
+    }
+
+    /// Multiplies by a scalar constant.
+    pub fn scale(&mut self, a: Var, factor: f32) -> Var {
+        let value = self.value(a).map(|v| v * factor);
+        self.push(value, Op::Scale(a, factor))
+    }
+
+    /// Adds a scalar constant.
+    pub fn add_scalar(&mut self, a: Var, constant: f32) -> Var {
+        let value = self.value(a).map(|v| v + constant);
+        self.push(value, Op::AddScalar(a))
+    }
+
+    /// Element-wise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.push(value, Op::Sigmoid(a))
+    }
+
+    /// Element-wise hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::tanh);
+        self.push(value, Op::Tanh(a))
+    }
+
+    /// Element-wise rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| v.max(0.0));
+        self.push(value, Op::Relu(a))
+    }
+
+    /// Element-wise `1 - x` (used by the GRU update gate).
+    pub fn one_minus(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| 1.0 - v);
+        self.push(value, Op::OneMinus(a))
+    }
+
+    /// Concatenates two matrices with the same number of rows along the
+    /// column axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let ta = self.value(a);
+        let tb = self.value(b);
+        assert_eq!(ta.rows(), tb.rows(), "concat_cols row mismatch");
+        let rows = ta.rows();
+        let cols = ta.cols() + tb.cols();
+        let mut out = Tensor::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..ta.cols() {
+                out.set(i, j, ta.get(i, j));
+            }
+            for j in 0..tb.cols() {
+                out.set(i, ta.cols() + j, tb.get(i, j));
+            }
+        }
+        self.push(out, Op::ConcatCols(a, b))
+    }
+
+    /// Selects rows of `a` by index: row `i` of the result is row
+    /// `indices[i]` of `a`. Indices may repeat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn gather_rows(&mut self, a: Var, indices: &[usize]) -> Var {
+        let t = self.value(a);
+        let mut out = Tensor::zeros(indices.len(), t.cols());
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < t.rows(), "gather index {idx} out of range");
+            for j in 0..t.cols() {
+                out.set(i, j, t.get(idx, j));
+            }
+        }
+        self.push(out, Op::GatherRows(a, indices.to_vec()))
+    }
+
+    /// Scatters rows of `a` into a `[num_rows, d]` matrix, summing rows that
+    /// share a target index: `out[indices[i]] += a[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= num_rows` or the index count differs from
+    /// the number of rows of `a`.
+    pub fn scatter_add_rows(&mut self, a: Var, indices: &[usize], num_rows: usize) -> Var {
+        let t = self.value(a);
+        assert_eq!(t.rows(), indices.len(), "scatter index count mismatch");
+        let mut out = Tensor::zeros(num_rows, t.cols());
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < num_rows, "scatter index {idx} out of range");
+            for j in 0..t.cols() {
+                out.set(idx, j, out.get(idx, j) + t.get(i, j));
+            }
+        }
+        self.push(out, Op::ScatterAddRows(a, indices.to_vec()))
+    }
+
+    /// Softmax over segments: rows of the `[k, 1]` score column that share a
+    /// segment id are normalised together. This is the attention
+    /// normalisation over each node's predecessor set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores` is not a column or the segment count differs from
+    /// the number of rows.
+    pub fn segment_softmax(&mut self, scores: Var, segments: &[usize]) -> Var {
+        let s = self.value(scores);
+        assert_eq!(s.cols(), 1, "segment_softmax expects a [k, 1] column");
+        assert_eq!(s.rows(), segments.len(), "segment count mismatch");
+        let value = segment_softmax_forward(s, segments);
+        self.push(value, Op::SegmentSoftmax(scores, segments.to_vec()))
+    }
+
+    /// Sum of all elements, as a `[1, 1]` tensor.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let value = Tensor::from_vec(1, 1, vec![self.value(a).sum()]);
+        self.push(value, Op::SumAll(a))
+    }
+
+    /// Mean of all elements, as a `[1, 1]` tensor.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let value = Tensor::from_vec(1, 1, vec![self.value(a).mean()]);
+        self.push(value, Op::MeanAll(a))
+    }
+
+    /// Mean absolute error between `pred` and a constant `target`, as a
+    /// `[1, 1]` tensor. This is the L1 training loss of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn l1_loss(&mut self, pred: Var, target: &Tensor) -> Var {
+        let p = self.value(pred);
+        assert_eq!(p.shape(), target.shape(), "l1_loss shape mismatch");
+        let value = Tensor::from_vec(1, 1, vec![p.sub(target).map(f32::abs).mean()]);
+        self.push(value, Op::L1Loss(pred, target.clone()))
+    }
+
+    /// Mean squared error between `pred` and a constant `target`, as a
+    /// `[1, 1]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mse_loss(&mut self, pred: Var, target: &Tensor) -> Var {
+        let p = self.value(pred);
+        assert_eq!(p.shape(), target.shape(), "mse_loss shape mismatch");
+        let diff = p.sub(target);
+        let value = Tensor::from_vec(1, 1, vec![diff.mul(&diff).mean()]);
+        self.push(value, Op::MseLoss(pred, target.clone()))
+    }
+
+    /// Runs reverse-mode differentiation from `loss` (which must be a
+    /// `[1, 1]` tensor) and accumulates parameter gradients into `store`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a scalar-shaped tensor.
+    pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
+        assert_eq!(
+            self.value(loss).shape(),
+            [1, 1],
+            "backward expects a scalar loss"
+        );
+        self.nodes[loss.0].grad = Some(Tensor::ones(1, 1));
+        for i in (0..self.nodes.len()).rev() {
+            let grad = match self.nodes[i].grad.clone() {
+                Some(g) => g,
+                None => continue,
+            };
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Leaf => {}
+                Op::Param(id) => store.accumulate_grad(id, &grad),
+                Op::Matmul(a, b) => {
+                    let da = grad.matmul(&self.nodes[b.0].value.transpose());
+                    let db = self.nodes[a.0].value.transpose().matmul(&grad);
+                    self.accumulate(a, da);
+                    self.accumulate(b, db);
+                }
+                Op::Add(a, b) => {
+                    self.accumulate(a, grad.clone());
+                    self.accumulate(b, grad);
+                }
+                Op::AddRow(a, row) => {
+                    self.accumulate(a, grad.clone());
+                    let mut row_grad = Tensor::zeros(1, grad.cols());
+                    for i in 0..grad.rows() {
+                        for j in 0..grad.cols() {
+                            row_grad.set(0, j, row_grad.get(0, j) + grad.get(i, j));
+                        }
+                    }
+                    self.accumulate(row, row_grad);
+                }
+                Op::Sub(a, b) => {
+                    self.accumulate(a, grad.clone());
+                    self.accumulate(b, grad.map(|v| -v));
+                }
+                Op::Mul(a, b) => {
+                    let da = grad.mul(&self.nodes[b.0].value);
+                    let db = grad.mul(&self.nodes[a.0].value);
+                    self.accumulate(a, da);
+                    self.accumulate(b, db);
+                }
+                Op::MulCol(col, mat) => {
+                    let c = self.nodes[col.0].value.clone();
+                    let m = self.nodes[mat.0].value.clone();
+                    let mut dc = Tensor::zeros(c.rows(), 1);
+                    let mut dm = Tensor::zeros(m.rows(), m.cols());
+                    for i in 0..m.rows() {
+                        let mut acc = 0.0;
+                        for j in 0..m.cols() {
+                            acc += grad.get(i, j) * m.get(i, j);
+                            dm.set(i, j, grad.get(i, j) * c.get(i, 0));
+                        }
+                        dc.set(i, 0, acc);
+                    }
+                    self.accumulate(col, dc);
+                    self.accumulate(mat, dm);
+                }
+                Op::Scale(a, factor) => self.accumulate(a, grad.map(|v| v * factor)),
+                Op::AddScalar(a) => self.accumulate(a, grad),
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[i].value;
+                    let da = grad.zip(y, |g, s| g * s * (1.0 - s));
+                    self.accumulate(a, da);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[i].value;
+                    let da = grad.zip(y, |g, t| g * (1.0 - t * t));
+                    self.accumulate(a, da);
+                }
+                Op::Relu(a) => {
+                    let x = &self.nodes[a.0].value;
+                    let da = grad.zip(x, |g, v| if v > 0.0 { g } else { 0.0 });
+                    self.accumulate(a, da);
+                }
+                Op::OneMinus(a) => self.accumulate(a, grad.map(|v| -v)),
+                Op::ConcatCols(a, b) => {
+                    let ca = self.nodes[a.0].value.cols();
+                    let cb = self.nodes[b.0].value.cols();
+                    let rows = grad.rows();
+                    let mut da = Tensor::zeros(rows, ca);
+                    let mut db = Tensor::zeros(rows, cb);
+                    for i in 0..rows {
+                        for j in 0..ca {
+                            da.set(i, j, grad.get(i, j));
+                        }
+                        for j in 0..cb {
+                            db.set(i, j, grad.get(i, ca + j));
+                        }
+                    }
+                    self.accumulate(a, da);
+                    self.accumulate(b, db);
+                }
+                Op::GatherRows(a, indices) => {
+                    let src_rows = self.nodes[a.0].value.rows();
+                    let mut da = Tensor::zeros(src_rows, grad.cols());
+                    for (i, &idx) in indices.iter().enumerate() {
+                        for j in 0..grad.cols() {
+                            da.set(idx, j, da.get(idx, j) + grad.get(i, j));
+                        }
+                    }
+                    self.accumulate(a, da);
+                }
+                Op::ScatterAddRows(a, indices) => {
+                    let mut da = Tensor::zeros(indices.len(), grad.cols());
+                    for (i, &idx) in indices.iter().enumerate() {
+                        for j in 0..grad.cols() {
+                            da.set(i, j, grad.get(idx, j));
+                        }
+                    }
+                    self.accumulate(a, da);
+                }
+                Op::SegmentSoftmax(scores, segments) => {
+                    let y = self.nodes[i].value.clone();
+                    let da = segment_softmax_backward(&y, &grad, &segments);
+                    self.accumulate(scores, da);
+                }
+                Op::SumAll(a) => {
+                    let g = grad.get(0, 0);
+                    let shape = self.nodes[a.0].value.shape();
+                    self.accumulate(a, Tensor::full(shape[0], shape[1], g));
+                }
+                Op::MeanAll(a) => {
+                    let shape = self.nodes[a.0].value.shape();
+                    let n = (shape[0] * shape[1]) as f32;
+                    let g = grad.get(0, 0) / n;
+                    self.accumulate(a, Tensor::full(shape[0], shape[1], g));
+                }
+                Op::L1Loss(pred, target) => {
+                    let p = &self.nodes[pred.0].value;
+                    let n = p.len() as f32;
+                    let g = grad.get(0, 0) / n;
+                    let dp = p.zip(&target, |pv, tv| {
+                        if pv > tv {
+                            g
+                        } else if pv < tv {
+                            -g
+                        } else {
+                            0.0
+                        }
+                    });
+                    self.accumulate(pred, dp);
+                }
+                Op::MseLoss(pred, target) => {
+                    let p = &self.nodes[pred.0].value;
+                    let n = p.len() as f32;
+                    let g = grad.get(0, 0) * 2.0 / n;
+                    let dp = p.zip(&target, |pv, tv| g * (pv - tv));
+                    self.accumulate(pred, dp);
+                }
+            }
+        }
+    }
+
+    fn accumulate(&mut self, var: Var, delta: Tensor) {
+        match &mut self.nodes[var.0].grad {
+            Some(existing) => existing.axpy(1.0, &delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+}
+
+/// Gradient-free segment softmax on plain tensors: rows of the `[k, 1]`
+/// score column that share a segment id are normalised together. This is the
+/// inference-path counterpart of [`Graph::segment_softmax`].
+///
+/// # Panics
+///
+/// Panics if `scores` is not a column or the segment count differs from the
+/// number of rows.
+pub fn segment_softmax_tensor(scores: &Tensor, segments: &[usize]) -> Tensor {
+    assert_eq!(scores.cols(), 1, "segment_softmax expects a [k, 1] column");
+    assert_eq!(scores.rows(), segments.len(), "segment count mismatch");
+    segment_softmax_forward(scores, segments)
+}
+
+fn segment_softmax_forward(scores: &Tensor, segments: &[usize]) -> Tensor {
+    let k = scores.rows();
+    let num_segments = segments.iter().copied().max().map_or(0, |m| m + 1);
+    let mut max_per_seg = vec![f32::NEG_INFINITY; num_segments];
+    for i in 0..k {
+        max_per_seg[segments[i]] = max_per_seg[segments[i]].max(scores.get(i, 0));
+    }
+    let mut sum_per_seg = vec![0.0f32; num_segments];
+    let mut exps = vec![0.0f32; k];
+    for i in 0..k {
+        let e = (scores.get(i, 0) - max_per_seg[segments[i]]).exp();
+        exps[i] = e;
+        sum_per_seg[segments[i]] += e;
+    }
+    let mut out = Tensor::zeros(k, 1);
+    for i in 0..k {
+        out.set(i, 0, exps[i] / sum_per_seg[segments[i]]);
+    }
+    out
+}
+
+fn segment_softmax_backward(y: &Tensor, grad: &Tensor, segments: &[usize]) -> Tensor {
+    let k = y.rows();
+    let num_segments = segments.iter().copied().max().map_or(0, |m| m + 1);
+    // dot[s] = sum_j grad_j * y_j within segment s
+    let mut dot = vec![0.0f32; num_segments];
+    for i in 0..k {
+        dot[segments[i]] += grad.get(i, 0) * y.get(i, 0);
+    }
+    let mut out = Tensor::zeros(k, 1);
+    for i in 0..k {
+        let v = y.get(i, 0) * (grad.get(i, 0) - dot[segments[i]]);
+        out.set(i, 0, v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerically checks d loss / d param[0][0] via central differences.
+    fn finite_difference(
+        store: &mut ParamStore,
+        id: ParamId,
+        row: usize,
+        col: usize,
+        mut forward: impl FnMut(&ParamStore) -> f32,
+    ) -> f32 {
+        let eps = 1e-3;
+        let original = store.value(id).get(row, col);
+        store.value_mut(id).set(row, col, original + eps);
+        let plus = forward(store);
+        store.value_mut(id).set(row, col, original - eps);
+        let minus = forward(store);
+        store.value_mut(id).set(row, col, original);
+        (plus - minus) / (2.0 * eps)
+    }
+
+    #[test]
+    fn matmul_gradient_matches_finite_difference() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_rows(&[&[0.5, -0.2], &[0.3, 0.8]]));
+        let x = Tensor::from_rows(&[&[1.0, 2.0], &[-1.0, 0.5], &[0.3, 0.7]]);
+        let target = Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.5, 0.5]]);
+
+        let run = |store: &ParamStore| -> f32 {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let wv = g.param(store, w);
+            let y = g.matmul(xv, wv);
+            let loss = g.mse_loss(y, &target);
+            g.value(loss).get(0, 0)
+        };
+
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let wv = g.param(&store, w);
+        let y = g.matmul(xv, wv);
+        let loss = g.mse_loss(y, &target);
+        g.backward(loss, &mut store);
+
+        for (r, c) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            let numeric = finite_difference(&mut store, w, r, c, run);
+            let analytic = store.grad(w).get(r, c);
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "({r},{c}): numeric {numeric} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn elementwise_and_activation_gradients() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_rows(&[&[0.3, -0.6, 0.9]]));
+        let target = Tensor::from_rows(&[&[0.2, 0.4, 0.1]]);
+
+        let run = |store: &ParamStore| -> f32 {
+            let mut g = Graph::new();
+            let wv = g.param(store, w);
+            let s = g.sigmoid(wv);
+            let t = g.tanh(s);
+            let r = g.relu(t);
+            let o = g.one_minus(r);
+            let sc = g.scale(o, 1.5);
+            let sh = g.add_scalar(sc, 0.1);
+            let loss = g.l1_loss(sh, &target);
+            g.value(loss).get(0, 0)
+        };
+
+        let mut g = Graph::new();
+        let wv = g.param(&store, w);
+        let s = g.sigmoid(wv);
+        let t = g.tanh(s);
+        let r = g.relu(t);
+        let o = g.one_minus(r);
+        let sc = g.scale(o, 1.5);
+        let sh = g.add_scalar(sc, 0.1);
+        let loss = g.l1_loss(sh, &target);
+        g.backward(loss, &mut store);
+
+        for c in 0..3 {
+            let numeric = finite_difference(&mut store, w, 0, c, run);
+            let analytic = store.grad(w).get(0, c);
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "col {c}: numeric {numeric} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn gather_scatter_gradients() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]));
+        let indices = vec![0usize, 2, 2, 1];
+        let targets = vec![0usize, 1, 1, 0];
+        let target = Tensor::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]);
+
+        let run = |store: &ParamStore| -> f32 {
+            let mut g = Graph::new();
+            let wv = g.param(store, w);
+            let gathered = g.gather_rows(wv, &indices);
+            let scattered = g.scatter_add_rows(gathered, &targets, 2);
+            let loss = g.mse_loss(scattered, &target);
+            g.value(loss).get(0, 0)
+        };
+
+        let mut g = Graph::new();
+        let wv = g.param(&store, w);
+        let gathered = g.gather_rows(wv, &indices);
+        let scattered = g.scatter_add_rows(gathered, &targets, 2);
+        let loss = g.mse_loss(scattered, &target);
+        g.backward(loss, &mut store);
+
+        for (r, c) in [(0, 0), (1, 1), (2, 0), (2, 1)] {
+            let numeric = finite_difference(&mut store, w, r, c, run);
+            let analytic = store.grad(w).get(r, c);
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "({r},{c}): numeric {numeric} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn segment_softmax_forward_normalises_per_segment() {
+        let scores = Tensor::column(&[1.0, 2.0, 3.0, 0.5, 0.5]);
+        let segments = vec![0, 0, 1, 1, 1];
+        let y = segment_softmax_forward(&scores, &segments);
+        let seg0: f32 = y.get(0, 0) + y.get(1, 0);
+        let seg1: f32 = y.get(2, 0) + y.get(3, 0) + y.get(4, 0);
+        assert!((seg0 - 1.0).abs() < 1e-6);
+        assert!((seg1 - 1.0).abs() < 1e-6);
+        assert!(y.get(1, 0) > y.get(0, 0));
+    }
+
+    #[test]
+    fn segment_softmax_gradient_matches_finite_difference() {
+        let mut store = ParamStore::new();
+        let w = store.add("scores", Tensor::column(&[0.2, -0.4, 0.7, 1.1]));
+        let segments = vec![0usize, 0, 1, 1];
+        let weights = Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[1.5, 0.5], &[0.2, 0.9]]);
+        let target = Tensor::from_rows(&[&[0.3, 0.3], &[0.4, 0.4]]);
+
+        let run = |store: &ParamStore| -> f32 {
+            let mut g = Graph::new();
+            let sv = g.param(store, w);
+            let alpha = g.segment_softmax(sv, &segments);
+            let wv = g.input(weights.clone());
+            let weighted = g.mul_col(alpha, wv);
+            let pooled = g.scatter_add_rows(weighted, &segments, 2);
+            let loss = g.mse_loss(pooled, &target);
+            g.value(loss).get(0, 0)
+        };
+
+        let mut g = Graph::new();
+        let sv = g.param(&store, w);
+        let alpha = g.segment_softmax(sv, &segments);
+        let wv = g.input(weights.clone());
+        let weighted = g.mul_col(alpha, wv);
+        let pooled = g.scatter_add_rows(weighted, &segments, 2);
+        let loss = g.mse_loss(pooled, &target);
+        g.backward(loss, &mut store);
+
+        for r in 0..4 {
+            let numeric = finite_difference(&mut store, w, r, 0, run);
+            let analytic = store.grad(w).get(r, 0);
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "row {r}: numeric {numeric} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn concat_add_row_sub_mul_gradients() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::from_rows(&[&[0.1, 0.2], &[0.3, 0.4]]));
+        let b = store.add("b", Tensor::from_rows(&[&[0.5], &[0.6]]));
+        let bias = store.add("bias", Tensor::from_rows(&[&[0.05, -0.05, 0.1]]));
+        let target = Tensor::from_rows(&[&[0.0, 1.0, 0.5], &[1.0, 0.0, 0.5]]);
+
+        let run = |store: &ParamStore| -> f32 {
+            let mut g = Graph::new();
+            let av = g.param(store, a);
+            let bv = g.param(store, b);
+            let biasv = g.param(store, bias);
+            let cat = g.concat_cols(av, bv);
+            let shifted = g.add_row(cat, biasv);
+            let doubled = g.add(shifted, shifted);
+            let diff = g.sub(doubled, shifted);
+            let squared = g.mul(diff, diff);
+            let loss = g.l1_loss(squared, &target);
+            g.value(loss).get(0, 0)
+        };
+
+        let mut g = Graph::new();
+        let av = g.param(&store, a);
+        let bv = g.param(&store, b);
+        let biasv = g.param(&store, bias);
+        let cat = g.concat_cols(av, bv);
+        let shifted = g.add_row(cat, biasv);
+        let doubled = g.add(shifted, shifted);
+        let diff = g.sub(doubled, shifted);
+        let squared = g.mul(diff, diff);
+        let loss = g.l1_loss(squared, &target);
+        g.backward(loss, &mut store);
+
+        for (id, r, c) in [(a, 0, 0), (a, 1, 1), (b, 0, 0), (b, 1, 0), (bias, 0, 2)] {
+            let numeric = finite_difference(&mut store, id, r, c, run);
+            let analytic = store.grad(id).get(r, c);
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "{} ({r},{c}): numeric {numeric} analytic {analytic}",
+                store.name(id)
+            );
+        }
+    }
+
+    #[test]
+    fn sum_and_mean_gradients() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let mut g = Graph::new();
+        let wv = g.param(&store, w);
+        let s = g.sum_all(wv);
+        g.backward(s, &mut store);
+        assert_eq!(store.grad(w).as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+
+        store.zero_grad();
+        let mut g = Graph::new();
+        let wv = g.param(&store, w);
+        let m = g.mean_all(wv);
+        g.backward(m, &mut store);
+        assert_eq!(store.grad(w).as_slice(), &[0.25, 0.25, 0.25, 0.25]);
+    }
+
+    #[test]
+    fn grad_of_input_is_tracked_but_not_stored() {
+        let mut store = ParamStore::new();
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_rows(&[&[1.0, 2.0]]));
+        let s = g.sum_all(x);
+        g.backward(s, &mut store);
+        assert!(g.grad(x).is_some());
+        assert!(store.is_empty());
+        assert!(!g.is_empty());
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_rejects_non_scalar_loss() {
+        let mut store = ParamStore::new();
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(2, 2));
+        g.backward(x, &mut store);
+    }
+}

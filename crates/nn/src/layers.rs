@@ -1,0 +1,452 @@
+//! Neural-network layers used by the DeepGate models: linear projections,
+//! multi-layer perceptrons and gated recurrent unit cells.
+
+use crate::{Graph, ParamId, ParamStore, Tensor, Var};
+
+/// A dense affine layer `y = x W + b`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: ParamId,
+    bias: Option<ParamId>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// Registers a new linear layer in `store`. Weights use Xavier-uniform
+    /// initialisation seeded with `seed`; the bias starts at zero.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        seed: u64,
+    ) -> Self {
+        let weight = store.add(
+            format!("{name}.weight"),
+            Tensor::xavier_uniform(in_features, out_features, seed),
+        );
+        let bias = Some(store.add(format!("{name}.bias"), Tensor::zeros(1, out_features)));
+        Linear {
+            weight,
+            bias,
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Registers a linear layer without a bias term.
+    pub fn new_without_bias(
+        store: &mut ParamStore,
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        seed: u64,
+    ) -> Self {
+        let weight = store.add(
+            format!("{name}.weight"),
+            Tensor::xavier_uniform(in_features, out_features, seed),
+        );
+        Linear {
+            weight,
+            bias: None,
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature dimension.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Applies the layer to a `[n, in_features]` input.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, input: Var) -> Var {
+        let w = g.param(store, self.weight);
+        let projected = g.matmul(input, w);
+        match self.bias {
+            Some(bias) => {
+                let b = g.param(store, bias);
+                g.add_row(projected, b)
+            }
+            None => projected,
+        }
+    }
+
+    /// Gradient-free forward pass on plain tensors (used for inference on
+    /// large circuits where recording an autodiff tape would be wasteful).
+    pub fn forward_tensor(&self, store: &ParamStore, input: &Tensor) -> Tensor {
+        let mut out = input.matmul(store.value(self.weight));
+        if let Some(bias) = self.bias {
+            let b = store.value(bias);
+            for i in 0..out.rows() {
+                for j in 0..out.cols() {
+                    out.set(i, j, out.get(i, j) + b.get(0, j));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The hidden-layer activation of an [`Mlp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+/// A multi-layer perceptron with a configurable activation on hidden layers
+/// and a linear final layer (optionally followed by a sigmoid, as used by the
+/// probability regressor of DeepGate).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+    sigmoid_output: bool,
+}
+
+impl Mlp {
+    /// Registers an MLP with the given layer sizes, e.g. `[64, 32, 1]` builds
+    /// two linear layers 64→32→1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        sizes: &[usize],
+        activation: Activation,
+        sigmoid_output: bool,
+        seed: u64,
+    ) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs at least two layer sizes");
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, &format!("{name}.layer{i}"), w[0], w[1], seed + i as u64))
+            .collect();
+        Mlp {
+            layers,
+            activation,
+            sigmoid_output,
+        }
+    }
+
+    /// Applies the MLP to a `[n, sizes[0]]` input.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, input: Var) -> Var {
+        let mut x = input;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(g, store, x);
+            if i < last {
+                x = match self.activation {
+                    Activation::Relu => g.relu(x),
+                    Activation::Tanh => g.tanh(x),
+                    Activation::Sigmoid => g.sigmoid(x),
+                };
+            }
+        }
+        if self.sigmoid_output {
+            x = g.sigmoid(x);
+        }
+        x
+    }
+
+    /// Gradient-free forward pass on plain tensors.
+    pub fn forward_tensor(&self, store: &ParamStore, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward_tensor(store, &x);
+            if i < last {
+                x = match self.activation {
+                    Activation::Relu => x.map(|v| v.max(0.0)),
+                    Activation::Tanh => x.map(f32::tanh),
+                    Activation::Sigmoid => x.map(|v| 1.0 / (1.0 + (-v).exp())),
+                };
+            }
+        }
+        if self.sigmoid_output {
+            x = x.map(|v| 1.0 / (1.0 + (-v).exp()));
+        }
+        x
+    }
+}
+
+/// A gated recurrent unit cell operating on row-batched states.
+///
+/// Follows the standard GRU formulation:
+///
+/// ```text
+/// r = σ(x W_xr + h W_hr + b_r)
+/// z = σ(x W_xz + h W_hz + b_z)
+/// n = tanh(x W_xn + (r ⊙ h) W_hn + b_n)
+/// h' = (1 - z) ⊙ n + z ⊙ h
+/// ```
+///
+/// DeepGate uses a GRU as the COMBINE function (Eq. 6): the aggregated
+/// message concatenated with the gate-type one-hot is the input `x`, and the
+/// node's previous hidden state is `h`.
+#[derive(Debug, Clone)]
+pub struct GruCell {
+    w_xr: Linear,
+    w_hr: Linear,
+    w_xz: Linear,
+    w_hz: Linear,
+    w_xn: Linear,
+    w_hn: Linear,
+    input_size: usize,
+    hidden_size: usize,
+}
+
+impl GruCell {
+    /// Registers a GRU cell with the given input and hidden sizes.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        input_size: usize,
+        hidden_size: usize,
+        seed: u64,
+    ) -> Self {
+        GruCell {
+            w_xr: Linear::new(store, &format!("{name}.w_xr"), input_size, hidden_size, seed),
+            w_hr: Linear::new_without_bias(
+                store,
+                &format!("{name}.w_hr"),
+                hidden_size,
+                hidden_size,
+                seed + 1,
+            ),
+            w_xz: Linear::new(store, &format!("{name}.w_xz"), input_size, hidden_size, seed + 2),
+            w_hz: Linear::new_without_bias(
+                store,
+                &format!("{name}.w_hz"),
+                hidden_size,
+                hidden_size,
+                seed + 3,
+            ),
+            w_xn: Linear::new(store, &format!("{name}.w_xn"), input_size, hidden_size, seed + 4),
+            w_hn: Linear::new_without_bias(
+                store,
+                &format!("{name}.w_hn"),
+                hidden_size,
+                hidden_size,
+                seed + 5,
+            ),
+            input_size,
+            hidden_size,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Hidden state dimension.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// Computes the next hidden state for a batch of rows.
+    ///
+    /// `input` is `[n, input_size]`, `hidden` is `[n, hidden_size]`; the
+    /// result is `[n, hidden_size]`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, input: Var, hidden: Var) -> Var {
+        let xr = self.w_xr.forward(g, store, input);
+        let hr = self.w_hr.forward(g, store, hidden);
+        let pre_r = g.add(xr, hr);
+        let r = g.sigmoid(pre_r);
+
+        let xz = self.w_xz.forward(g, store, input);
+        let hz = self.w_hz.forward(g, store, hidden);
+        let pre_z = g.add(xz, hz);
+        let z = g.sigmoid(pre_z);
+
+        let gated_h = g.mul(r, hidden);
+        let xn = self.w_xn.forward(g, store, input);
+        let hn = self.w_hn.forward(g, store, gated_h);
+        let pre_n = g.add(xn, hn);
+        let n = g.tanh(pre_n);
+
+        let one_minus_z = g.one_minus(z);
+        let new_part = g.mul(one_minus_z, n);
+        let old_part = g.mul(z, hidden);
+        g.add(new_part, old_part)
+    }
+
+    /// Gradient-free forward pass on plain tensors.
+    pub fn forward_tensor(&self, store: &ParamStore, input: &Tensor, hidden: &Tensor) -> Tensor {
+        let sigmoid = |t: Tensor| t.map(|v| 1.0 / (1.0 + (-v).exp()));
+        let r = sigmoid(
+            self.w_xr
+                .forward_tensor(store, input)
+                .add(&self.w_hr.forward_tensor(store, hidden)),
+        );
+        let z = sigmoid(
+            self.w_xz
+                .forward_tensor(store, input)
+                .add(&self.w_hz.forward_tensor(store, hidden)),
+        );
+        let gated = r.mul(hidden);
+        let n = self
+            .w_xn
+            .forward_tensor(store, input)
+            .add(&self.w_hn.forward_tensor(store, &gated))
+            .map(f32::tanh);
+        let one_minus_z = z.map(|v| 1.0 - v);
+        one_minus_z.mul(&n).add(&z.mul(hidden))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Adam;
+
+    #[test]
+    fn linear_shapes_and_forward() {
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "l", 3, 2, 1);
+        assert_eq!(layer.in_features(), 3);
+        assert_eq!(layer.out_features(), 2);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(4, 3));
+        let y = layer.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).shape(), [4, 2]);
+        // Without bias there are fewer parameters.
+        let mut store2 = ParamStore::new();
+        let _ = Linear::new_without_bias(&mut store2, "l", 3, 2, 1);
+        assert_eq!(store2.len(), 1);
+    }
+
+    #[test]
+    fn mlp_forward_shapes_and_sigmoid_range() {
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &[4, 8, 1], Activation::Relu, true, 3);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(5, 4, 1.0, 9));
+        let y = mlp.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).shape(), [5, 1]);
+        assert!(g.value(y).as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two layer sizes")]
+    fn mlp_rejects_single_size() {
+        let mut store = ParamStore::new();
+        let _ = Mlp::new(&mut store, "m", &[4], Activation::Relu, false, 0);
+    }
+
+    #[test]
+    fn gru_preserves_shape_and_gates_interpolate() {
+        let mut store = ParamStore::new();
+        let gru = GruCell::new(&mut store, "gru", 3, 4, 7);
+        assert_eq!(gru.input_size(), 3);
+        assert_eq!(gru.hidden_size(), 4);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(6, 3, 1.0, 1));
+        let h = g.input(Tensor::randn(6, 4, 1.0, 2));
+        let h2 = gru.forward(&mut g, &store, x, h);
+        assert_eq!(g.value(h2).shape(), [6, 4]);
+        // The GRU output is an interpolation between h and tanh(...) so it is
+        // bounded by max(|h|, 1).
+        let bound = g
+            .value(h)
+            .as_slice()
+            .iter()
+            .fold(1.0f32, |acc, &v| acc.max(v.abs()));
+        assert!(g.value(h2).as_slice().iter().all(|&v| v.abs() <= bound + 1e-5));
+    }
+
+    #[test]
+    fn linear_learns_linear_function() {
+        // y = 2 x1 - x2, trained with Adam.
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "fit", 2, 1, 5);
+        let mut adam = Adam::with_defaults(0.05);
+        let x = Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0], &[0.5, 2.0]]);
+        let target = Tensor::from_rows(&[&[2.0], &[-1.0], &[1.0], &[3.0], &[-1.0]]);
+        let mut last_loss = f32::MAX;
+        for _ in 0..300 {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let pred = layer.forward(&mut g, &store, xv);
+            let loss = g.mse_loss(pred, &target);
+            last_loss = g.value(loss).get(0, 0);
+            g.backward(loss, &mut store);
+            adam.step(&mut store);
+            store.zero_grad();
+        }
+        assert!(last_loss < 1e-3, "loss did not converge: {last_loss}");
+    }
+
+    #[test]
+    fn tensor_forward_matches_tape_forward() {
+        let mut store = ParamStore::new();
+        let linear = Linear::new(&mut store, "l", 3, 4, 21);
+        let mlp = Mlp::new(&mut store, "m", &[4, 8, 1], Activation::Relu, true, 22);
+        let gru = GruCell::new(&mut store, "g", 3, 4, 23);
+        let x = Tensor::randn(5, 3, 1.0, 31);
+        let h = Tensor::randn(5, 4, 1.0, 32);
+
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let hv = g.input(h.clone());
+        let lin_tape = linear.forward(&mut g, &store, xv);
+        let mlp_tape = mlp.forward(&mut g, &store, lin_tape);
+        let gru_tape = gru.forward(&mut g, &store, xv, hv);
+
+        let lin_tensor = linear.forward_tensor(&store, &x);
+        let mlp_tensor = mlp.forward_tensor(&store, &lin_tensor);
+        let gru_tensor = gru.forward_tensor(&store, &x, &h);
+
+        let close = |a: &Tensor, b: &Tensor| {
+            a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| (x - y).abs() < 1e-5)
+        };
+        assert!(close(g.value(lin_tape), &lin_tensor));
+        assert!(close(g.value(mlp_tape), &mlp_tensor));
+        assert!(close(g.value(gru_tape), &gru_tensor));
+    }
+
+    #[test]
+    fn gru_can_learn_to_copy_input_sign() {
+        // Train a tiny GRU + readout to output 1 for positive inputs and 0
+        // for negative inputs after one step; checks end-to-end gradients.
+        let mut store = ParamStore::new();
+        let gru = GruCell::new(&mut store, "gru", 1, 4, 11);
+        let readout = Linear::new(&mut store, "ro", 4, 1, 13);
+        let mut adam = Adam::with_defaults(0.05);
+        let inputs = Tensor::from_rows(&[&[1.0], &[-1.0], &[0.5], &[-0.5]]);
+        let target = Tensor::from_rows(&[&[1.0], &[0.0], &[1.0], &[0.0]]);
+        let mut last_loss = f32::MAX;
+        for _ in 0..400 {
+            let mut g = Graph::new();
+            let x = g.input(inputs.clone());
+            let h0 = g.input(Tensor::zeros(4, 4));
+            let h1 = gru.forward(&mut g, &store, x, h0);
+            let logits = readout.forward(&mut g, &store, h1);
+            let pred = g.sigmoid(logits);
+            let loss = g.mse_loss(pred, &target);
+            last_loss = g.value(loss).get(0, 0);
+            g.backward(loss, &mut store);
+            adam.step(&mut store);
+            store.zero_grad();
+        }
+        assert!(last_loss < 0.05, "gru failed to learn: {last_loss}");
+    }
+}

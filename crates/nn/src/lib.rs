@@ -1,0 +1,60 @@
+//! Minimal deep-learning substrate for the DeepGate reproduction.
+//!
+//! The original DeepGate implementation is built on PyTorch; the Rust
+//! ecosystem has no equivalent training stack, so this crate provides the
+//! small subset needed by DAG-GNN models, written from scratch:
+//!
+//! - [`Tensor`] — a dense row-major 2-D float tensor with the usual
+//!   element-wise and matrix operations plus Xavier/normal initialisers.
+//! - [`Graph`] / [`Var`] — a dynamic reverse-mode autodiff tape. Each
+//!   forward pass builds a fresh graph; [`Graph::backward`] accumulates
+//!   parameter gradients into a [`ParamStore`].
+//! - Graph ops tailored to message passing on circuit DAGs:
+//!   [`Graph::gather_rows`], [`Graph::scatter_add_rows`] and
+//!   [`Graph::segment_softmax`] (softmax over each node's predecessor set,
+//!   the core of DeepGate's attention aggregation).
+//! - [`Linear`], [`Mlp`], [`GruCell`] — the layers used by the paper's
+//!   models (d = 64 hidden states, GRU state updates, MLP regressor).
+//! - [`Adam`] and [`Sgd`] optimisers, L1/MSE losses.
+//! - JSON (de)serialisation of parameter stores for model checkpoints.
+//!
+//! # Example
+//!
+//! ```rust
+//! use deepgate_nn::{Graph, Linear, ParamStore, Tensor, Adam};
+//!
+//! // Fit y = 2x with a single linear layer.
+//! let mut store = ParamStore::new();
+//! let layer = Linear::new(&mut store, "fit", 1, 1, 42);
+//! let mut adam = Adam::with_defaults(0.1);
+//! for _ in 0..500 {
+//!     let mut g = Graph::new();
+//!     let x = g.input(Tensor::from_rows(&[&[1.0], &[2.0], &[3.0]]));
+//!     let target = Tensor::from_rows(&[&[2.0], &[4.0], &[6.0]]);
+//!     let pred = layer.forward(&mut g, &store, x);
+//!     let loss = g.mse_loss(pred, &target);
+//!     g.backward(loss, &mut store);
+//!     adam.step(&mut store);
+//!     store.zero_grad();
+//! }
+//! let mut g = Graph::new();
+//! let x = g.input(Tensor::from_rows(&[&[5.0]]));
+//! let pred = layer.forward(&mut g, &store, x);
+//! assert!((g.value(pred).get(0, 0) - 10.0).abs() < 0.5);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod graph;
+mod layers;
+mod optim;
+mod params;
+mod tensor;
+
+pub use error::NnError;
+pub use graph::{segment_softmax_tensor, Graph, Var};
+pub use layers::{Activation, GruCell, Linear, Mlp};
+pub use optim::{Adam, Sgd};
+pub use params::{ParamId, ParamStore};
+pub use tensor::Tensor;

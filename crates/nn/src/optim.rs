@@ -1,0 +1,210 @@
+//! First-order optimisers over a [`ParamStore`].
+
+use crate::{ParamStore, Tensor};
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    learning_rate: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser.
+    pub fn new(learning_rate: f32, momentum: f32) -> Self {
+        Sgd {
+            learning_rate,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// The learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    /// Applies one update step using the gradients accumulated in `store`.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        let ids: Vec<_> = store.ids().collect();
+        if self.velocity.len() != ids.len() {
+            self.velocity = ids
+                .iter()
+                .map(|&id| {
+                    let v = store.value(id);
+                    Tensor::zeros(v.rows(), v.cols())
+                })
+                .collect();
+        }
+        for (slot, id) in ids.into_iter().enumerate() {
+            let grad = store.grad(id).clone();
+            if grad.is_empty() {
+                continue;
+            }
+            let v = &mut self.velocity[slot];
+            for (vel, &g) in v.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+                *vel = self.momentum * *vel - self.learning_rate * g;
+            }
+            let update = v.clone();
+            store.value_mut(id).axpy(1.0, &update);
+        }
+    }
+}
+
+/// The Adam optimiser (Kingma & Ba), used by the paper with a learning rate
+/// of `1e-4`.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    learning_rate: f32,
+    beta1: f32,
+    beta2: f32,
+    epsilon: f32,
+    step_count: u64,
+    first_moment: Vec<Tensor>,
+    second_moment: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with explicit hyper-parameters.
+    pub fn new(learning_rate: f32, beta1: f32, beta2: f32, epsilon: f32) -> Self {
+        Adam {
+            learning_rate,
+            beta1,
+            beta2,
+            epsilon,
+            step_count: 0,
+            first_moment: Vec::new(),
+            second_moment: Vec::new(),
+        }
+    }
+
+    /// Creates an Adam optimiser with the standard β/ε defaults
+    /// (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    pub fn with_defaults(learning_rate: f32) -> Self {
+        Adam::new(learning_rate, 0.9, 0.999, 1e-8)
+    }
+
+    /// The learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    /// Overrides the learning rate (e.g. for schedules).
+    pub fn set_learning_rate(&mut self, learning_rate: f32) {
+        self.learning_rate = learning_rate;
+    }
+
+    /// Number of update steps applied so far.
+    pub fn step_count(&self) -> u64 {
+        self.step_count
+    }
+
+    /// Applies one Adam update step using the gradients accumulated in
+    /// `store`.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        let ids: Vec<_> = store.ids().collect();
+        if self.first_moment.len() != ids.len() {
+            self.first_moment = ids
+                .iter()
+                .map(|&id| {
+                    let v = store.value(id);
+                    Tensor::zeros(v.rows(), v.cols())
+                })
+                .collect();
+            self.second_moment = self.first_moment.clone();
+        }
+        self.step_count += 1;
+        let t = self.step_count as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for (slot, id) in ids.into_iter().enumerate() {
+            let grad = store.grad(id).clone();
+            if grad.is_empty() {
+                continue;
+            }
+            let m = &mut self.first_moment[slot];
+            let v = &mut self.second_moment[slot];
+            let value = store.value_mut(id);
+            for i in 0..grad.len() {
+                let g = grad.as_slice()[i];
+                let mi = self.beta1 * m.as_slice()[i] + (1.0 - self.beta1) * g;
+                let vi = self.beta2 * v.as_slice()[i] + (1.0 - self.beta2) * g * g;
+                m.as_mut_slice()[i] = mi;
+                v.as_mut_slice()[i] = vi;
+                let m_hat = mi / bias1;
+                let v_hat = vi / bias2;
+                value.as_mut_slice()[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Graph, ParamStore};
+
+    fn quadratic_loss(store: &ParamStore, id: crate::ParamId) -> (Graph, crate::Var) {
+        // loss = mean((w - 3)^2): minimised at w = 3.
+        let mut g = Graph::new();
+        let w = g.param(store, id);
+        let target = Tensor::full(1, 4, 3.0);
+        let loss = g.mse_loss(w, &target);
+        (g, loss)
+    }
+
+    #[test]
+    fn sgd_minimises_quadratic() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::zeros(1, 4));
+        let mut sgd = Sgd::new(0.1, 0.9);
+        assert_eq!(sgd.learning_rate(), 0.1);
+        for _ in 0..200 {
+            let (mut g, loss) = quadratic_loss(&store, id);
+            g.backward(loss, &mut store);
+            sgd.step(&mut store);
+            store.zero_grad();
+        }
+        for &v in store.value(id).as_slice() {
+            assert!((v - 3.0).abs() < 1e-2, "value {v}");
+        }
+    }
+
+    #[test]
+    fn adam_minimises_quadratic_faster_than_sgd_without_momentum() {
+        let mut store_adam = ParamStore::new();
+        let id_adam = store_adam.add("w", Tensor::zeros(1, 4));
+        let mut adam = Adam::with_defaults(0.2);
+        for _ in 0..100 {
+            let (mut g, loss) = quadratic_loss(&store_adam, id_adam);
+            g.backward(loss, &mut store_adam);
+            adam.step(&mut store_adam);
+            store_adam.zero_grad();
+        }
+        assert_eq!(adam.step_count(), 100);
+        for &v in store_adam.value(id_adam).as_slice() {
+            assert!((v - 3.0).abs() < 0.05, "adam value {v}");
+        }
+    }
+
+    #[test]
+    fn adam_learning_rate_can_be_changed() {
+        let mut adam = Adam::with_defaults(0.1);
+        assert_eq!(adam.learning_rate(), 0.1);
+        adam.set_learning_rate(0.01);
+        assert_eq!(adam.learning_rate(), 0.01);
+    }
+
+    #[test]
+    fn optimisers_skip_parameters_without_gradients() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::ones(1, 2));
+        let mut adam = Adam::with_defaults(0.1);
+        let mut sgd = Sgd::new(0.1, 0.0);
+        // No backward pass ran; values must stay unchanged.
+        adam.step(&mut store);
+        sgd.step(&mut store);
+        assert_eq!(store.value(id).as_slice(), &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,258 @@
+use crate::{NnError, Tensor};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Parameter {
+    name: String,
+    value: Tensor,
+    #[serde(skip, default = "Tensor::empty_grad")]
+    grad: Tensor,
+}
+
+impl Tensor {
+    fn empty_grad() -> Tensor {
+        Tensor::zeros(0, 0)
+    }
+}
+
+/// A flat store of named, trainable parameters.
+///
+/// Models register their weights here once at construction time and reference
+/// them by [`ParamId`] on every forward pass; [`crate::Graph::backward`]
+/// accumulates gradients into the store and the optimisers
+/// ([`crate::Adam`], [`crate::Sgd`]) update the values in place.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: Vec<Parameter>,
+}
+
+impl ParamStore {
+    /// Creates an empty parameter store.
+    pub fn new() -> Self {
+        ParamStore { params: Vec::new() }
+    }
+
+    /// Registers a parameter and returns its id.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let grad = Tensor::zeros(value.rows(), value.cols());
+        self.params.push(Parameter {
+            name: name.into(),
+            value,
+            grad,
+        });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Number of registered parameters (tensors, not scalar weights).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Returns `true` if no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_weights(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// The value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].value
+    }
+
+    /// Mutable access to the value of a parameter.
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id.0].value
+    }
+
+    /// The accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].grad
+    }
+
+    /// The name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// Iterates over all parameter ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.params.len()).map(ParamId)
+    }
+
+    /// Adds `delta` to the gradient of a parameter (used by
+    /// [`crate::Graph::backward`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient shape does not match the parameter shape.
+    pub fn accumulate_grad(&mut self, id: ParamId, delta: &Tensor) {
+        let p = &mut self.params[id.0];
+        if p.grad.is_empty() {
+            p.grad = Tensor::zeros(p.value.rows(), p.value.cols());
+        }
+        p.grad.axpy(1.0, delta);
+    }
+
+    /// Resets all gradients to zero.
+    pub fn zero_grad(&mut self) {
+        for p in &mut self.params {
+            if p.grad.is_empty() {
+                p.grad = Tensor::zeros(p.value.rows(), p.value.cols());
+            } else {
+                p.grad.fill_zero();
+            }
+        }
+    }
+
+    /// Global L2 norm of all gradients (useful for gradient clipping and
+    /// debugging training).
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .map(|p| {
+                if p.grad.is_empty() {
+                    0.0
+                } else {
+                    p.grad.norm().powi(2)
+                }
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales every gradient so the global norm does not exceed `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for p in &mut self.params {
+                if !p.grad.is_empty() {
+                    let scaled = p.grad.map(|v| v * scale);
+                    p.grad = scaled;
+                }
+            }
+        }
+    }
+
+    /// Serialises all parameter values to a JSON string (a model checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Serde`] if serialisation fails.
+    pub fn to_json(&self) -> Result<String, NnError> {
+        let map: HashMap<&str, &Tensor> = self
+            .params
+            .iter()
+            .map(|p| (p.name.as_str(), &p.value))
+            .collect();
+        serde_json::to_string(&map).map_err(|e| NnError::Serde(e.to_string()))
+    }
+
+    /// Loads parameter values from a JSON checkpoint produced by
+    /// [`ParamStore::to_json`]. Every parameter in the store must be present
+    /// in the checkpoint with a matching shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingParameter`] or [`NnError::ShapeMismatch`]
+    /// when the checkpoint does not match the store, and [`NnError::Serde`]
+    /// if the JSON cannot be parsed.
+    pub fn load_json(&mut self, json: &str) -> Result<(), NnError> {
+        let map: HashMap<String, Tensor> =
+            serde_json::from_str(json).map_err(|e| NnError::Serde(e.to_string()))?;
+        for p in &mut self.params {
+            let loaded = map
+                .get(&p.name)
+                .ok_or_else(|| NnError::MissingParameter(p.name.clone()))?;
+            if loaded.shape() != p.value.shape() {
+                return Err(NnError::ShapeMismatch {
+                    name: p.name.clone(),
+                    expected: p.value.shape().to_vec(),
+                    got: loaded.shape().to_vec(),
+                });
+            }
+            p.value = loaded.clone();
+            p.grad = Tensor::zeros(p.value.rows(), p.value.cols());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_access() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::ones(2, 3));
+        let b = store.add("b", Tensor::zeros(1, 3));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.num_weights(), 9);
+        assert_eq!(store.name(w), "w");
+        assert_eq!(store.value(b).shape(), [1, 3]);
+        assert_eq!(store.ids().count(), 2);
+    }
+
+    #[test]
+    fn gradient_accumulation_and_reset() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::zeros(2, 2));
+        store.accumulate_grad(w, &Tensor::ones(2, 2));
+        store.accumulate_grad(w, &Tensor::ones(2, 2));
+        assert_eq!(store.grad(w).get(0, 0), 2.0);
+        assert!((store.grad_norm() - 4.0).abs() < 1e-6);
+        store.zero_grad();
+        assert_eq!(store.grad(w).get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn gradient_clipping() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::zeros(1, 2));
+        store.accumulate_grad(w, &Tensor::from_rows(&[&[3.0, 4.0]]));
+        store.clip_grad_norm(1.0);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+        // Clipping below the max is a no-op.
+        store.clip_grad_norm(10.0);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let json = store.to_json().unwrap();
+        let mut store2 = ParamStore::new();
+        let w2 = store2.add("w", Tensor::zeros(2, 2));
+        store2.load_json(&json).unwrap();
+        assert_eq!(store2.value(w2), store.value(w));
+    }
+
+    #[test]
+    fn checkpoint_errors() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::zeros(2, 2));
+        assert!(matches!(
+            store.load_json("{}"),
+            Err(NnError::MissingParameter(_))
+        ));
+        assert!(matches!(store.load_json("not json"), Err(NnError::Serde(_))));
+        let mut other = ParamStore::new();
+        other.add("w", Tensor::zeros(3, 3));
+        let json = other.to_json().unwrap();
+        assert!(matches!(
+            store.load_json(&json),
+            Err(NnError::ShapeMismatch { .. })
+        ));
+    }
+}

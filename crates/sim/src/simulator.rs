@@ -1,0 +1,172 @@
+//! Bit-parallel evaluation of circuits: one `u64` word per node holds 64
+//! simulation patterns.
+
+use crate::SimError;
+use deepgate_aig::{Aig, AigNodeKind};
+use deepgate_netlist::{GateKind, Netlist};
+
+/// Evaluates an [`Aig`] for one row of input pattern words.
+///
+/// `input_words[i]` holds 64 patterns for the `i`-th primary input (in
+/// [`Aig::inputs`] order). Returns one word per AIG node (index-aligned with
+/// the AIG), where bit `k` of word `n` is the value of node `n` under
+/// pattern `k`.
+///
+/// # Errors
+///
+/// Returns [`SimError::InputCountMismatch`] if the number of input words does
+/// not match the number of primary inputs.
+pub fn simulate_aig_words(aig: &Aig, input_words: &[u64]) -> Result<Vec<u64>, SimError> {
+    if input_words.len() != aig.num_inputs() {
+        return Err(SimError::InputCountMismatch {
+            expected: aig.num_inputs(),
+            got: input_words.len(),
+        });
+    }
+    let mut values = vec![0u64; aig.len()];
+    for (pos, &node_idx) in aig.inputs().iter().enumerate() {
+        values[node_idx] = input_words[pos];
+    }
+    for (i, node) in aig.iter() {
+        if node.kind != AigNodeKind::And {
+            continue;
+        }
+        let a = values[node.fanin0.node()];
+        let a = if node.fanin0.is_complemented() { !a } else { a };
+        let b = values[node.fanin1.node()];
+        let b = if node.fanin1.is_complemented() { !b } else { b };
+        values[i] = a & b;
+    }
+    Ok(values)
+}
+
+/// Evaluates a [`Netlist`] for one row of input pattern words.
+///
+/// `input_words[i]` holds 64 patterns for the `i`-th primary input (in
+/// [`Netlist::inputs`] order). Returns one word per netlist node.
+///
+/// # Errors
+///
+/// Returns [`SimError::InputCountMismatch`] if the number of input words does
+/// not match the number of primary inputs.
+pub fn simulate_netlist_words(netlist: &Netlist, input_words: &[u64]) -> Result<Vec<u64>, SimError> {
+    if input_words.len() != netlist.num_inputs() {
+        return Err(SimError::InputCountMismatch {
+            expected: netlist.num_inputs(),
+            got: input_words.len(),
+        });
+    }
+    let mut values = vec![0u64; netlist.len()];
+    let mut input_pos = 0usize;
+    let mut fanin_buf: Vec<u64> = Vec::new();
+    for (id, node) in netlist.iter() {
+        match node.kind {
+            GateKind::Input => {
+                values[id.index()] = input_words[input_pos];
+                input_pos += 1;
+            }
+            GateKind::Const0 => values[id.index()] = 0,
+            GateKind::Const1 => values[id.index()] = u64::MAX,
+            kind => {
+                fanin_buf.clear();
+                fanin_buf.extend(node.fanins.iter().map(|f| values[f.index()]));
+                values[id.index()] = kind.eval_words(&fanin_buf);
+            }
+        }
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepgate_netlist::GateKind;
+
+    #[test]
+    fn aig_simulation_matches_truth_table() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let and = aig.and(a, b);
+        let or = aig.or(a, b);
+        let xor = aig.xor(a, b);
+        aig.add_output(and, "and");
+        aig.add_output(or, "or");
+        aig.add_output(xor, "xor");
+        // Patterns: a = 0101..., b = 0011...
+        let a_w = 0xAAAA_AAAA_AAAA_AAAAu64;
+        let b_w = 0xCCCC_CCCC_CCCC_CCCCu64;
+        let values = simulate_aig_words(&aig, &[a_w, b_w]).unwrap();
+        let lit_value = |lit: deepgate_aig::AigLit| {
+            let v = values[lit.node()];
+            if lit.is_complemented() {
+                !v
+            } else {
+                v
+            }
+        };
+        assert_eq!(lit_value(and), a_w & b_w);
+        assert_eq!(lit_value(or), a_w | b_w);
+        assert_eq!(lit_value(xor), a_w ^ b_w);
+    }
+
+    #[test]
+    fn aig_complemented_outputs_resolve_via_lit() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let nand = aig.and(a, b).complement();
+        aig.add_output(nand, "nand");
+        let values = simulate_aig_words(&aig, &[0xF0F0, 0xFF00]).unwrap();
+        let node_val = values[nand.node()];
+        let lit_val = if nand.is_complemented() { !node_val } else { node_val };
+        assert_eq!(lit_val, !(0xF0F0u64 & 0xFF00u64));
+    }
+
+    #[test]
+    fn netlist_and_aig_agree() {
+        let mut n = Netlist::new("agree");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g1 = n.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        let g2 = n.add_gate(GateKind::Nand, &[g1, c]).unwrap();
+        let g3 = n.add_gate(GateKind::Mux, &[c, g1, g2]).unwrap();
+        n.mark_output(g3, "y");
+        let aig = Aig::from_netlist(&n).unwrap();
+
+        let words = [0x1234_5678_9ABC_DEF0u64, 0x0F0F_F0F0_00FF_FF00, 0xAAAA_5555_CCCC_3333];
+        let nv = simulate_netlist_words(&n, &words).unwrap();
+        let av = simulate_aig_words(&aig, &words).unwrap();
+        // Compare the primary output value.
+        let n_out = nv[n.outputs()[0].0.index()];
+        let (lit, _) = aig.outputs()[0];
+        let a_out_raw = av[lit.node()];
+        let a_out = if lit.is_complemented() { !a_out_raw } else { a_out_raw };
+        assert_eq!(n_out, a_out);
+    }
+
+    #[test]
+    fn input_count_mismatch_detected() {
+        let mut aig = Aig::new("t");
+        let _ = aig.add_input("a");
+        let err = simulate_aig_words(&aig, &[]).unwrap_err();
+        assert!(matches!(err, SimError::InputCountMismatch { expected: 1, got: 0 }));
+
+        let mut n = Netlist::new("t");
+        let _ = n.add_input("a");
+        let err = simulate_netlist_words(&n, &[1, 2]).unwrap_err();
+        assert!(matches!(err, SimError::InputCountMismatch { expected: 1, got: 2 }));
+    }
+
+    #[test]
+    fn constants_simulate_correctly() {
+        let mut n = Netlist::new("c");
+        let zero = n.add_const(false);
+        let one = n.add_const(true);
+        let g = n.add_gate(GateKind::Or, &[zero, one]).unwrap();
+        n.mark_output(g, "y");
+        let values = simulate_netlist_words(&n, &[]).unwrap();
+        assert_eq!(values[g.index()], u64::MAX);
+    }
+}

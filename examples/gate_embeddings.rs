@@ -1,0 +1,87 @@
+//! Gate-embedding exploration: train DeepGate on a small dataset, then use
+//! the learned per-gate vectors to find functionally similar gates across
+//! two different circuits — the "general representation" use-case the paper
+//! targets for downstream EDA tasks.
+//!
+//! ```bash
+//! cargo run --release --example gate_embeddings
+//! ```
+
+use deepgate::aig::Aig;
+use deepgate::core::{DeepGate, DeepGateConfig, Trainer, TrainerConfig};
+use deepgate::dataset::{generators, labelled_circuit_from_aig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Train briefly on a handful of small circuits.
+    let training_netlists = vec![
+        generators::ripple_carry_adder(6),
+        generators::comparator(6),
+        generators::priority_arbiter(8),
+        generators::parity_tree(12),
+    ];
+    let mut train = Vec::new();
+    for (i, netlist) in training_netlists.iter().enumerate() {
+        let aig = Aig::from_netlist(netlist)?;
+        train.push(labelled_circuit_from_aig(&aig, 4_096, i as u64)?);
+    }
+    let mut model = DeepGate::new(DeepGateConfig {
+        hidden_dim: 32,
+        num_iterations: 4,
+        ..DeepGateConfig::default()
+    });
+    let mut trainer = Trainer::new(TrainerConfig {
+        epochs: 15,
+        learning_rate: 3e-3,
+        ..TrainerConfig::default()
+    });
+    let inner = model.model().clone();
+    trainer.train(&inner, model.store_mut(), &train, &[]);
+    println!("trained DeepGate ({} weights) on {} circuits", model.num_weights(), train.len());
+
+    // Embed two unseen circuits and find, for a probe gate in the first, the
+    // most similar gates in the second by cosine similarity.
+    let probe_aig = Aig::from_netlist(&generators::alu(4))?;
+    let other_aig = Aig::from_netlist(&generators::counter_next_state(8))?;
+    let probe = labelled_circuit_from_aig(&probe_aig, 4_096, 101)?;
+    let other = labelled_circuit_from_aig(&other_aig, 4_096, 102)?;
+    let probe_emb = model.embeddings(&probe);
+    let other_emb = model.embeddings(&other);
+
+    let cosine = |a: &[f32], b: &[f32]| -> f32 {
+        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    };
+
+    // Probe: the deepest gate of the ALU circuit.
+    let probe_gate = (0..probe.num_nodes)
+        .filter(|&i| probe.gate_mask[i])
+        .max_by_key(|&i| probe.levels[i])
+        .expect("circuit has gates");
+    let probe_vec = probe_emb.row(probe_gate);
+    let probe_label = probe.labels.as_ref().expect("labelled")[probe_gate];
+    println!(
+        "probe: ALU gate {probe_gate} at level {} with simulated P(1) = {probe_label:.3}",
+        probe.levels[probe_gate]
+    );
+
+    let mut matches: Vec<(usize, f32)> = (0..other.num_nodes)
+        .filter(|&i| other.gate_mask[i])
+        .map(|i| (i, cosine(probe_vec, other_emb.row(i))))
+        .collect();
+    matches.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarity"));
+    println!("closest gates in the counter circuit (by embedding cosine similarity):");
+    for (gate, sim) in matches.iter().take(5) {
+        let label = other.labels.as_ref().expect("labelled")[*gate];
+        println!(
+            "  gate {gate}: similarity {sim:.3}, level {}, simulated P(1) = {label:.3}",
+            other.levels[*gate]
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! # DeepGate (reproduction)
+//!
+//! A from-scratch Rust reproduction of *DeepGate: Learning Neural
+//! Representations of Logic Gates* (Li et al., DAC 2022).
+//!
+//! This facade crate re-exports the individual workspace crates so that a
+//! downstream user can depend on a single `deepgate` crate:
+//!
+//! - [`netlist`] — gate-level netlist IR, BENCH parser/writer, circuit generators.
+//! - [`aig`] — And-Inverter Graphs, netlist→AIG mapping, optimisation passes,
+//!   reconvergence analysis (the logic-synthesis substrate).
+//! - [`sim`] — bit-parallel logic simulation and signal-probability labelling.
+//! - [`nn`] — minimal tensor / reverse-mode autodiff substrate with GRU, MLP,
+//!   attention primitives and the Adam optimiser.
+//! - [`gnn`] — DAG-GNN framework: circuit-graph encoding, topological batching,
+//!   aggregators, and the baseline model zoo (GCN, DAG-ConvGNN, DAG-RecGNN).
+//! - [`core`] — the DeepGate model, trainer and evaluation metrics.
+//! - [`dataset`] — benchmark-suite generators, sub-circuit extraction and the
+//!   labelled dataset pipeline.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use deepgate::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Generate a small circuit, map it to an AIG and label it with
+//! // logic-simulated signal probabilities.
+//! let netlist = deepgate::dataset::generators::ripple_carry_adder(8);
+//! let aig = Aig::from_netlist(&netlist)?;
+//! let labels = SignalProbability::simulate(&aig, 4096, 7)?;
+//! assert_eq!(labels.len(), aig.len());
+//! # Ok(())
+//! # }
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use deepgate_aig as aig;
+pub use deepgate_core as core;
+pub use deepgate_dataset as dataset;
+pub use deepgate_gnn as gnn;
+pub use deepgate_netlist as netlist;
+pub use deepgate_nn as nn;
+pub use deepgate_sim as sim;
+
+/// Commonly used types, re-exported for convenient glob import.
+pub mod prelude {
+    pub use deepgate_aig::{Aig, AigLit, AigNodeKind};
+    pub use deepgate_core::{DeepGate, DeepGateConfig, Trainer, TrainerConfig};
+    pub use deepgate_dataset::{Dataset, DatasetConfig, SuiteKind};
+    pub use deepgate_gnn::{Aggregator, CircuitGraph, DagRecGnn, Gcn};
+    pub use deepgate_netlist::{GateKind, Netlist, NodeId};
+    pub use deepgate_nn::{Graph, Tensor};
+    pub use deepgate_sim::SignalProbability;
+}

@@ -1,0 +1,155 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning the netlist, AIG and simulation crates.
+
+use deepgate::aig::{opt, Aig, ReconvergenceAnalysis, ReconvergenceConfig};
+use deepgate::gnn::{CircuitGraph, FeatureEncoding};
+use deepgate::netlist::{bench, GateKind, Netlist, NodeId};
+use deepgate::sim::{simulate_aig_words, simulate_netlist_words};
+use proptest::prelude::*;
+
+/// Strategy: a random valid combinational netlist description, as a list of
+/// (gate kind index, fan-in picks) build steps over a fixed input count.
+fn random_netlist(max_gates: usize) -> impl Strategy<Value = Netlist> {
+    let gate_steps = prop::collection::vec((0usize..6, any::<u64>(), any::<u64>()), 1..max_gates);
+    (2usize..6, gate_steps).prop_map(|(num_inputs, steps)| {
+        let mut netlist = Netlist::new("prop");
+        let mut signals: Vec<NodeId> = (0..num_inputs)
+            .map(|i| netlist.add_input(format!("x{i}")))
+            .collect();
+        let kinds = [
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Not,
+        ];
+        for (kind_idx, pick_a, pick_b) in steps {
+            let kind = kinds[kind_idx];
+            let a = signals[(pick_a % signals.len() as u64) as usize];
+            let b = signals[(pick_b % signals.len() as u64) as usize];
+            let id = if kind == GateKind::Not {
+                netlist.add_gate(kind, &[a]).expect("valid arity")
+            } else {
+                netlist.add_gate(kind, &[a, b]).expect("valid arity")
+            };
+            signals.push(id);
+        }
+        let last = *signals.last().expect("at least one signal");
+        netlist.mark_output(last, "y");
+        // Also expose a mid signal to create multi-output circuits.
+        let mid = signals[signals.len() / 2];
+        netlist.mark_output(mid, "m");
+        netlist
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The AIG mapping is functionally equivalent to the original netlist on
+    /// random input words.
+    #[test]
+    fn aig_mapping_is_functionally_equivalent(
+        netlist in random_netlist(40),
+        seed in any::<u64>(),
+    ) {
+        let aig = Aig::from_netlist(&netlist).expect("maps to AIG");
+        prop_assert!(aig.validate().is_ok());
+        let words: Vec<u64> = (0..netlist.num_inputs())
+            .map(|i| seed.rotate_left(i as u32 * 7).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let nv = simulate_netlist_words(&netlist, &words).expect("simulates");
+        let av = simulate_aig_words(&aig, &words).expect("simulates");
+        for (k, (lit, _)) in aig.outputs().iter().enumerate() {
+            let (orig, _) = netlist.outputs()[k];
+            let expected = nv[orig.index()];
+            let raw = av[lit.node()];
+            let got = if lit.is_complemented() { !raw } else { raw };
+            prop_assert_eq!(expected, got);
+        }
+    }
+
+    /// Optimisation passes never change circuit functionality and never
+    /// increase the AND count.
+    #[test]
+    fn optimisation_preserves_function_and_size(
+        netlist in random_netlist(40),
+        seed in any::<u64>(),
+    ) {
+        let aig = Aig::from_netlist(&netlist).expect("maps to AIG");
+        let optimized = opt::optimize(&aig, 3);
+        prop_assert!(optimized.validate().is_ok());
+        prop_assert!(optimized.num_ands() <= aig.num_ands());
+        let words: Vec<u64> = (0..aig.num_inputs())
+            .map(|i| seed.rotate_right(i as u32 * 5) ^ 0xA5A5_5A5A_F0F0_0F0F)
+            .collect();
+        let before = simulate_aig_words(&aig, &words).expect("simulates");
+        let after = simulate_aig_words(&optimized, &words).expect("simulates");
+        for (k, (lit_b, _)) in aig.outputs().iter().enumerate() {
+            let (lit_a, _) = optimized.outputs()[k];
+            let vb = { let v = before[lit_b.node()]; if lit_b.is_complemented() { !v } else { v } };
+            let va = { let v = after[lit_a.node()]; if lit_a.is_complemented() { !v } else { v } };
+            prop_assert_eq!(vb, va);
+        }
+    }
+
+    /// BENCH round-trips preserve structure counts.
+    #[test]
+    fn bench_roundtrip_preserves_counts(netlist in random_netlist(30)) {
+        let text = bench::write(&netlist);
+        let parsed = bench::parse(&text, "prop").expect("round-trip");
+        prop_assert!(parsed.validate().is_ok());
+        prop_assert_eq!(parsed.num_inputs(), netlist.num_inputs());
+        prop_assert_eq!(parsed.num_outputs(), netlist.num_outputs());
+    }
+
+    /// Circuit-graph invariants hold for arbitrary circuits: one-hot
+    /// features, edges pointing from lower to higher levels, forward batches
+    /// covering every gate exactly once, and skip edges connecting genuine
+    /// fan-out stems to later nodes.
+    #[test]
+    fn circuit_graph_invariants(netlist in random_netlist(40)) {
+        let aig = Aig::from_netlist(&netlist).expect("maps to AIG");
+        let expanded = aig.to_netlist();
+        let graph = CircuitGraph::from_netlist(&expanded, FeatureEncoding::AigGates, None);
+        // One-hot features.
+        for i in 0..graph.num_nodes {
+            let sum: f32 = graph.features.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Edges go forward in level.
+        for &(src, dst) in &graph.edges {
+            prop_assert!(graph.levels[src] < graph.levels[dst]);
+        }
+        // Forward batches cover every gate exactly once.
+        let covered: usize = graph.forward_batches.iter().map(|b| b.targets.len()).sum();
+        prop_assert_eq!(covered, graph.num_gates());
+        // Skip edges reference earlier stems with consistent level distance.
+        let fanouts = expanded.fanout_counts();
+        for edge in &graph.skip_edges {
+            prop_assert!(fanouts[edge.source] >= 2);
+            prop_assert!(graph.levels[edge.target] > graph.levels[edge.source]);
+            prop_assert_eq!(
+                graph.levels[edge.target] - graph.levels[edge.source],
+                edge.level_difference
+            );
+        }
+    }
+
+    /// Reconvergence analysis is stable under the level-distance bound: a
+    /// tighter bound can only find fewer reconvergence nodes.
+    #[test]
+    fn reconvergence_monotone_in_level_bound(netlist in random_netlist(40)) {
+        let aig = Aig::from_netlist(&netlist).expect("maps to AIG");
+        let tight = ReconvergenceAnalysis::with_config(
+            &aig,
+            ReconvergenceConfig { max_level_distance: 4, max_tracked_stems: 48 },
+        );
+        let loose = ReconvergenceAnalysis::with_config(
+            &aig,
+            ReconvergenceConfig { max_level_distance: 64, max_tracked_stems: 48 },
+        );
+        prop_assert!(tight.num_reconvergence_nodes() <= loose.num_reconvergence_nodes());
+    }
+}
