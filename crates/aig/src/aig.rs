@@ -441,9 +441,9 @@ impl Aig {
             }
             let base = node_map[lit.node()].expect("fan-in built before use");
             if lit.is_complemented() {
-                *not_map.entry(lit.node()).or_insert_with(|| {
-                    out.add_gate(GateKind::Not, &[base]).expect("arity 1")
-                })
+                *not_map
+                    .entry(lit.node())
+                    .or_insert_with(|| out.add_gate(GateKind::Not, &[base]).expect("arity 1"))
             } else {
                 base
             }

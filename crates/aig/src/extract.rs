@@ -117,10 +117,9 @@ pub fn extract_subcircuits(aig: &Aig, config: ExtractConfig, max_count: usize) -
         }
         // Space roots apart: skip roots too close (in level) to an already
         // used root that is structurally nearby (same level band).
-        if used_roots
-            .iter()
-            .any(|&u| levels[u].abs_diff(levels[root]) < 2 && u.abs_diff(root) < config.max_nodes / 4)
-        {
+        if used_roots.iter().any(|&u| {
+            levels[u].abs_diff(levels[root]) < 2 && u.abs_diff(root) < config.max_nodes / 4
+        }) {
             continue;
         }
         if let Some(cone) = extract_cone(aig, root, config) {

@@ -98,7 +98,7 @@ pub fn parse_aag(text: &str, name: impl Into<String>) -> Result<Aig, AigError> {
             message: "missing input line".into(),
         })?;
         let raw = parse_num(line.trim(), line_no + 1)? as u32;
-        if raw % 2 != 0 {
+        if !raw.is_multiple_of(2) {
             return Err(AigError::Parse {
                 line: line_no + 1,
                 message: "input literal must be even".into(),

@@ -119,9 +119,7 @@ impl ReconvergenceAnalysis {
         self.per_node
             .iter()
             .enumerate()
-            .filter_map(|(node, info)| {
-                info.map(|i| (i.source, node, i.level_difference))
-            })
+            .filter_map(|(node, info)| info.map(|i| (i.source, node, i.level_difference)))
             .collect()
     }
 }
@@ -179,7 +177,7 @@ fn analyse(
                         .any(|(bj, other)| bj != bi && other.contains(&s));
                     if seen_elsewhere {
                         let diff = level_i - levels[s];
-                        if best.map_or(true, |b| diff < b.level_difference) {
+                        if best.is_none_or(|b| diff < b.level_difference) {
                             best = Some(ReconvergenceInfo {
                                 source: s,
                                 level_difference: diff,
@@ -329,8 +327,7 @@ mod tests {
         let p2 = n.add_gate(GateKind::And, &[inv, c]).unwrap();
         let recon = n.add_gate(GateKind::And, &[p1, p2]).unwrap();
         n.mark_output(recon, "y");
-        let analysis =
-            ReconvergenceAnalysis::of_netlist(&n, ReconvergenceConfig::default());
+        let analysis = ReconvergenceAnalysis::of_netlist(&n, ReconvergenceConfig::default());
         let info = analysis.info(recon.index()).expect("reconvergence found");
         // Both c and stem reconverge at `recon`; the closest is reported.
         assert!(info.source == stem.index() || info.source == c.index());

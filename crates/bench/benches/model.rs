@@ -31,9 +31,7 @@ fn bench_inference(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("predict_T10", circuit.num_nodes),
             &circuit,
-            |b, circuit| {
-                b.iter(|| black_box(model.predict(black_box(circuit))))
-            },
+            |b, circuit| b.iter(|| black_box(model.predict(black_box(circuit)))),
         );
         group.bench_with_input(
             BenchmarkId::new("embeddings_T10", circuit.num_nodes),
@@ -49,7 +47,12 @@ fn bench_training_step(c: &mut Criterion) {
     group.sample_size(10);
     let circuit = labelled_circuit(8);
     for (label, aggregator, fix, skip) in [
-        ("deepgate_attention_sc", AggregatorKind::Attention, true, true),
+        (
+            "deepgate_attention_sc",
+            AggregatorKind::Attention,
+            true,
+            true,
+        ),
         ("dag_rec_deepset", AggregatorKind::DeepSet, false, false),
     ] {
         let mut store = ParamStore::new();
@@ -69,7 +72,7 @@ fn bench_training_step(c: &mut Criterion) {
             b.iter(|| {
                 let mut g = Graph::new();
                 let pred = model.forward(&mut g, &store, &circuit);
-                let loss = masked_l1_loss(&mut g, pred, &circuit);
+                let loss = masked_l1_loss(&mut g, pred, &circuit).expect("labelled circuit");
                 let mut store_copy = store.clone();
                 g.backward(loss, &mut store_copy);
                 black_box(store_copy.grad_norm())

@@ -1,0 +1,149 @@
+//! Serving-throughput benchmark: `InferenceSession::predict_batch` versus
+//! per-circuit sequential `predict` over a fleet of generated circuits.
+//!
+//! Writes a `BENCH_inference.json` baseline into the current directory so
+//! future PRs can track the serving hot path. Accepts `--full` /
+//! `DEEPGATE_FULL=1` for a larger sweep like the table binaries.
+//!
+//! ```bash
+//! cargo run --release --bin bench_inference
+//! ```
+
+use deepgate::prelude::*;
+use deepgate_bench::Scale;
+use serde::Serialize;
+use std::time::Instant;
+
+/// The JSON baseline written for future PRs to compare against.
+#[derive(Debug, Serialize)]
+struct InferenceBaseline {
+    scale: String,
+    num_circuits: usize,
+    total_nodes: usize,
+    rounds: usize,
+    sequential_ms: f64,
+    batch_ms: f64,
+    batch_prepared_ms: f64,
+    speedup_batch: f64,
+    speedup_prepared: f64,
+    worker_threads: usize,
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn main() -> Result<(), DeepGateError> {
+    let scale = Scale::from_env_and_args();
+    let (num_circuits, rounds) = match scale {
+        Scale::Quick => (32usize, 8usize),
+        Scale::Full => (128, 16),
+    };
+
+    // A trained-shape engine (weights are random; inference cost does not
+    // depend on the weight values).
+    let engine = Engine::builder()
+        .model(DeepGateConfig {
+            hidden_dim: 32,
+            num_iterations: 6,
+            ..DeepGateConfig::default()
+        })
+        .num_patterns(1_024)
+        .build()?;
+
+    // A mixed fleet of circuits, as a serving deployment would see.
+    let suites = [
+        SuiteKind::Itc99,
+        SuiteKind::Iwls,
+        SuiteKind::Epfl,
+        SuiteKind::Opencores,
+    ];
+    let per_suite = num_circuits.div_ceil(suites.len());
+    let mut circuits = Vec::new();
+    for (i, &suite) in suites.iter().enumerate() {
+        let source = SuiteSource::new(suite, per_suite)
+            .seed(90 + i as u64)
+            .size_scale(0.15);
+        circuits.extend(engine.prepare(&source)?);
+    }
+    circuits.truncate(num_circuits);
+    let total_nodes: usize = circuits.iter().map(|c| c.num_nodes).sum();
+    eprintln!(
+        "[bench_inference] {} circuits, {} nodes total, {} rounds",
+        circuits.len(),
+        total_nodes,
+        rounds
+    );
+
+    let session = engine.into_session();
+
+    // Warm-up every path once before timing.
+    for circuit in &circuits {
+        let _ = session.predict(circuit)?;
+    }
+    let _ = session.predict_batch(&circuits)?;
+    let prepared = session.prepare_batch(&circuits)?;
+    let mut out = Vec::new();
+    session.predict_batch_into(&prepared, &mut out)?;
+
+    // The three paths are interleaved round by round so CPU-frequency and
+    // cache drift hit all of them equally; per-path medians over the rounds
+    // keep outliers from skewing the baseline.
+    let mut sequential_samples = Vec::with_capacity(rounds);
+    let mut batch_samples = Vec::with_capacity(rounds);
+    let mut prepared_samples = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        // Sequential: one predict call per circuit.
+        let start = Instant::now();
+        for circuit in &circuits {
+            let _ = session.predict(circuit)?;
+        }
+        sequential_samples.push(start.elapsed().as_secs_f64() * 1e3);
+
+        // Batched: fused unions, rayon-parallel chunks, built per call.
+        let start = Instant::now();
+        let _ = session.predict_batch(&circuits)?;
+        batch_samples.push(start.elapsed().as_secs_f64() * 1e3);
+
+        // Batched + prepared: unions, plans and output buffers all reused
+        // across calls — the steady-state serving loop.
+        let start = Instant::now();
+        session.predict_batch_into(&prepared, &mut out)?;
+        prepared_samples.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let sequential_ms = median(&mut sequential_samples);
+    let batch_ms = median(&mut batch_samples);
+    let batch_prepared_ms = median(&mut prepared_samples);
+
+    let baseline = InferenceBaseline {
+        scale: scale.label().to_string(),
+        num_circuits: circuits.len(),
+        total_nodes,
+        rounds,
+        sequential_ms,
+        batch_ms,
+        batch_prepared_ms,
+        speedup_batch: sequential_ms / batch_ms,
+        speedup_prepared: sequential_ms / batch_prepared_ms,
+        worker_threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    };
+    println!(
+        "sequential predict : {sequential_ms:>9.1} ms/round\n\
+         predict_batch      : {batch_ms:>9.1} ms/round ({:.2}x)\n\
+         + prepared buffers : {batch_prepared_ms:>9.1} ms/round ({:.2}x)",
+        baseline.speedup_batch, baseline.speedup_prepared
+    );
+
+    let json = serde_json::to_string_pretty(&baseline)
+        .map_err(|e| DeepGateError::Config(e.to_string()))?;
+    let path = "BENCH_inference.json";
+    std::fs::write(path, json).map_err(|e| DeepGateError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })?;
+    eprintln!("[bench_inference] baseline written to {path}");
+    Ok(())
+}

@@ -42,7 +42,10 @@ fn main() {
         let error: f64 = dataset
             .test
             .iter()
-            .map(|c| evaluate_prediction_error(&model.predict_with_iterations(&store, c, t), c))
+            .map(|c| {
+                evaluate_prediction_error(&model.predict_with_iterations(&store, c, t), c)
+                    .expect("experiment circuits are labelled")
+            })
             .sum::<f64>()
             / dataset.test.len().max(1) as f64;
         report.push_row(

@@ -2,8 +2,7 @@
 //! to five designs that are far larger than the training circuits.
 
 use deepgate_bench::{
-    build_dataset, fmt_error, fmt_reduction, train_and_evaluate, ExperimentSettings, Report,
-    Scale,
+    build_dataset, fmt_error, fmt_reduction, train_and_evaluate, ExperimentSettings, Report, Scale,
 };
 use deepgate_dataset::{labelled_circuit_from_aig, LargeDesign};
 use deepgate_gnn::{
@@ -68,9 +67,11 @@ fn main() {
             circuit.num_nodes, depth
         );
         let deepset_error =
-            evaluate_prediction_error(&deepset.predict(&deepset_store, &circuit), &circuit);
+            evaluate_prediction_error(&deepset.predict(&deepset_store, &circuit), &circuit)
+                .expect("labelled circuit");
         let deepgate_error =
-            evaluate_prediction_error(&deepgate.predict(&deepgate_store, &circuit), &circuit);
+            evaluate_prediction_error(&deepgate.predict(&deepgate_store, &circuit), &circuit)
+                .expect("labelled circuit");
         report.push_row(
             design.label(),
             vec![

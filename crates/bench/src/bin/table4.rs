@@ -38,7 +38,8 @@ fn main() {
 
         // Pre-trained on the merged dataset, evaluated on this suite's test
         // split without further fine-tuning.
-        let pretrained_error = average_prediction_error(&pretrained, &pretrained_store, &aig.test);
+        let pretrained_error = average_prediction_error(&pretrained, &pretrained_store, &aig.test)
+            .expect("experiment circuits are labelled");
 
         report.push_row(
             suite.label(),

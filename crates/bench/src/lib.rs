@@ -177,6 +177,11 @@ pub fn build_dataset_for_suites(
 
 /// Trains a model on a dataset and returns the average prediction error on
 /// the test split.
+///
+/// # Panics
+///
+/// Panics if training fails (the experiment datasets are always labelled,
+/// so a failure here is a harness bug, not user input).
 pub fn train_and_evaluate<M: ProbabilityModel + ?Sized>(
     model: &M,
     store: &mut ParamStore,
@@ -185,10 +190,13 @@ pub fn train_and_evaluate<M: ProbabilityModel + ?Sized>(
 ) -> f64 {
     let start = Instant::now();
     let mut trainer = Trainer::new(settings.trainer_config());
-    let history = trainer.train(model, store, &dataset.train, &dataset.test);
-    let error = history
-        .best_valid_error()
-        .unwrap_or_else(|| deepgate_core::average_prediction_error(model, store, &dataset.test));
+    let history = trainer
+        .train(model, store, &dataset.train, &dataset.test)
+        .expect("experiment circuits are labelled");
+    let error = history.best_valid_error().unwrap_or_else(|| {
+        deepgate_core::average_prediction_error(model, store, &dataset.test)
+            .expect("experiment circuits are labelled")
+    });
     eprintln!(
         "[train] {}: final loss {:.4}, test error {:.4}, {:.1}s",
         model.name(),
@@ -341,10 +349,7 @@ mod tests {
     #[test]
     fn report_formatting() {
         let mut report = Report::new("test", "Table X", Scale::Quick);
-        report.push_row(
-            "ModelA",
-            vec![("Error".to_string(), fmt_error(0.12345))],
-        );
+        report.push_row("ModelA", vec![("Error".to_string(), fmt_error(0.12345))]);
         assert_eq!(report.rows.len(), 1);
         assert_eq!(report.rows[0].values[0].1, "0.1235");
         report.print();

@@ -51,6 +51,4 @@ mod model;
 mod trainer;
 
 pub use model::{DeepGate, DeepGateConfig};
-pub use trainer::{
-    average_prediction_error, EpochStats, Trainer, TrainerConfig, TrainingHistory,
-};
+pub use trainer::{average_prediction_error, EpochStats, Trainer, TrainerConfig, TrainingHistory};

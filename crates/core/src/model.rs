@@ -2,8 +2,8 @@
 //! checkpointing.
 
 use deepgate_gnn::{
-    evaluate_prediction_error, AggregatorKind, CircuitGraph, DagRecConfig, DagRecGnn,
-    ProbabilityModel,
+    evaluate_prediction_error, AggregatorKind, CircuitGraph, DagRecConfig, DagRecGnn, GnnError,
+    InferencePlan, ProbabilityModel,
 };
 use deepgate_nn::{Graph, NnError, ParamStore, Tensor, Var};
 use serde::{Deserialize, Serialize};
@@ -137,6 +137,38 @@ impl DeepGate {
         self.model.predict(&self.store, circuit)
     }
 
+    /// Fallible prediction: validates the circuit's feature encoding against
+    /// the model configuration instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::EncodingMismatch`] for incompatible circuits.
+    pub fn try_predict(&self, circuit: &CircuitGraph) -> Result<Vec<f32>, GnnError> {
+        self.model.try_predict(&self.store, circuit)
+    }
+
+    /// Precomputes the reusable inference state of a circuit (see
+    /// [`InferencePlan`]).
+    pub fn plan(&self, circuit: &CircuitGraph) -> InferencePlan {
+        self.model.plan(circuit)
+    }
+
+    /// Plan-based prediction into a caller-owned buffer — the allocation
+    /// -reusing serving hot path behind `deepgate::InferenceSession`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::EncodingMismatch`] for incompatible circuits.
+    pub fn try_predict_into(
+        &self,
+        circuit: &CircuitGraph,
+        plan: &InferencePlan,
+        out: &mut Vec<f32>,
+    ) -> Result<(), GnnError> {
+        self.model
+            .try_predict_into(&self.store, circuit, plan, self.config.num_iterations, out)
+    }
+
     /// Predicts with an explicit recurrence iteration count (the paper's
     /// Section IV-D2 sweeps `T` from 1 to 50 at inference time).
     pub fn predict_with_iterations(&self, circuit: &CircuitGraph, iterations: usize) -> Vec<f32> {
@@ -151,21 +183,33 @@ impl DeepGate {
             .embed_with_iterations(&self.store, circuit, self.config.num_iterations)
     }
 
+    /// Fallible [`DeepGate::embeddings`]: validates the circuit's feature
+    /// encoding against the model configuration instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::EncodingMismatch`] for incompatible circuits.
+    pub fn try_embeddings(&self, circuit: &CircuitGraph) -> Result<Tensor, GnnError> {
+        self.model
+            .try_embed_with_iterations(&self.store, circuit, self.config.num_iterations)
+    }
+
     /// Average prediction error (Eq. 8) of the model over a set of labelled
     /// circuits.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any circuit has no labels attached.
-    pub fn evaluate(&self, circuits: &[CircuitGraph]) -> f64 {
+    /// Returns a [`GnnError`] if any circuit has no labels attached or is
+    /// incompatible with the model.
+    pub fn evaluate(&self, circuits: &[CircuitGraph]) -> Result<f64, GnnError> {
         if circuits.is_empty() {
-            return 0.0;
+            return Ok(0.0);
         }
-        let total: f64 = circuits
-            .iter()
-            .map(|c| evaluate_prediction_error(&self.predict(c), c))
-            .sum();
-        total / circuits.len() as f64
+        let mut total = 0.0f64;
+        for circuit in circuits {
+            total += evaluate_prediction_error(&self.try_predict(circuit)?, circuit)?;
+        }
+        Ok(total / circuits.len() as f64)
     }
 
     /// Serialises the configuration and weights to a JSON checkpoint.
@@ -207,8 +251,25 @@ impl ProbabilityModel for DeepGate {
         self.model.forward(g, store, circuit)
     }
 
+    fn try_forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        circuit: &CircuitGraph,
+    ) -> Result<Var, GnnError> {
+        self.model.try_forward(g, store, circuit)
+    }
+
     fn predict(&self, store: &ParamStore, circuit: &CircuitGraph) -> Vec<f32> {
         self.model.predict(store, circuit)
+    }
+
+    fn try_predict(
+        &self,
+        store: &ParamStore,
+        circuit: &CircuitGraph,
+    ) -> Result<Vec<f32>, GnnError> {
+        self.model.try_predict(store, circuit)
     }
 
     fn name(&self) -> String {
@@ -285,9 +346,30 @@ mod tests {
         c1.set_labels(vec![0.5; n]);
         c2.set_labels(vec![0.5; n]);
         let model = DeepGate::new(small_config());
-        let err = model.evaluate(&[c1, c2]);
+        let err = model.evaluate(&[c1, c2]).unwrap();
         assert!((0.0..=0.5).contains(&err));
-        assert_eq!(model.evaluate(&[]), 0.0);
+        assert_eq!(model.evaluate(&[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn evaluate_rejects_unlabelled_circuits() {
+        let model = DeepGate::new(small_config());
+        let err = model.evaluate(&[circuit()]).unwrap_err();
+        assert!(matches!(err, GnnError::UnlabelledCircuit { .. }));
+    }
+
+    #[test]
+    fn plan_based_prediction_matches_direct_prediction() {
+        let c = circuit();
+        let model = DeepGate::new(small_config());
+        let direct = model.predict(&c);
+        let plan = model.plan(&c);
+        let mut out = Vec::new();
+        model.try_predict_into(&c, &plan, &mut out).unwrap();
+        assert_eq!(out.len(), direct.len());
+        for (a, b) in direct.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-6);
+        }
     }
 
     #[test]

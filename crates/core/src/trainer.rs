@@ -5,7 +5,9 @@
 //! training circuits one circuit graph at a time (topological batching makes
 //! a whole circuit one "batch").
 
-use deepgate_gnn::{evaluate_prediction_error, masked_l1_loss, CircuitGraph, ProbabilityModel};
+use deepgate_gnn::{
+    evaluate_prediction_error, masked_l1_loss, CircuitGraph, GnnError, ProbabilityModel,
+};
 use deepgate_nn::{Adam, Graph, ParamStore};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -68,9 +70,7 @@ impl TrainingHistory {
         self.epochs
             .iter()
             .filter_map(|e| e.valid_error)
-            .fold(None, |best, e| {
-                Some(best.map_or(e, |b: f64| b.min(e)))
-            })
+            .fold(None, |best, e| Some(best.map_or(e, |b: f64| b.min(e))))
     }
 
     /// The final training loss.
@@ -106,16 +106,26 @@ impl Trainer {
     /// per-epoch history; the model parameters in `store` are updated in
     /// place.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any circuit has no labels attached.
+    /// Returns [`GnnError::UnlabelledCircuit`] if any circuit has no labels
+    /// attached (checked up front, before any optimiser step runs) and
+    /// [`GnnError::EncodingMismatch`] if a circuit's feature encoding does
+    /// not match the model.
     pub fn train<M: ProbabilityModel + ?Sized>(
         &mut self,
         model: &M,
         store: &mut ParamStore,
         train: &[CircuitGraph],
         valid: &[CircuitGraph],
-    ) -> TrainingHistory {
+    ) -> Result<TrainingHistory, GnnError> {
+        for circuit in train.iter().chain(valid) {
+            if circuit.labels.is_none() {
+                return Err(GnnError::UnlabelledCircuit {
+                    name: circuit.name.clone(),
+                });
+            }
+        }
         let mut history = TrainingHistory::default();
         let mut rng = SmallRng::seed_from_u64(self.config.shuffle_seed);
         let mut order: Vec<usize> = (0..train.len()).collect();
@@ -125,8 +135,8 @@ impl Trainer {
             for &idx in &order {
                 let circuit = &train[idx];
                 let mut g = Graph::new();
-                let pred = model.forward(&mut g, store, circuit);
-                let loss = masked_l1_loss(&mut g, pred, circuit);
+                let pred = model.try_forward(&mut g, store, circuit)?;
+                let loss = masked_l1_loss(&mut g, pred, circuit)?;
                 epoch_loss += g.value(loss).get(0, 0) as f64;
                 g.backward(loss, store);
                 store.clip_grad_norm(self.config.grad_clip);
@@ -142,7 +152,7 @@ impl Trainer {
             let evaluate_now = is_last
                 || (self.config.eval_every > 0 && (epoch + 1) % self.config.eval_every == 0);
             let valid_error = if evaluate_now && !valid.is_empty() {
-                Some(average_prediction_error(model, store, valid))
+                Some(average_prediction_error(model, store, valid)?)
             } else {
                 None
             };
@@ -152,29 +162,30 @@ impl Trainer {
                 valid_error,
             });
         }
-        history
+        Ok(history)
     }
 }
 
 /// Average prediction error (Eq. 8) of a model over a set of labelled
 /// circuits, averaged per circuit.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any circuit has no labels attached.
+/// Returns a [`GnnError`] if any circuit has no labels attached or is
+/// incompatible with the model.
 pub fn average_prediction_error<M: ProbabilityModel + ?Sized>(
     model: &M,
     store: &ParamStore,
     circuits: &[CircuitGraph],
-) -> f64 {
+) -> Result<f64, GnnError> {
     if circuits.is_empty() {
-        return 0.0;
+        return Ok(0.0);
     }
-    let total: f64 = circuits
-        .iter()
-        .map(|c| evaluate_prediction_error(&model.predict(store, c), c))
-        .sum();
-    total / circuits.len() as f64
+    let mut total = 0.0f64;
+    for circuit in circuits {
+        total += evaluate_prediction_error(&model.try_predict(store, circuit)?, circuit)?;
+    }
+    Ok(total / circuits.len() as f64)
 }
 
 #[cfg(test)]
@@ -233,14 +244,14 @@ mod tests {
                 ..DagRecConfig::default()
             },
         );
-        let error_before = average_prediction_error(&model, &store, valid);
+        let error_before = average_prediction_error(&model, &store, valid).unwrap();
         let mut trainer = Trainer::new(TrainerConfig {
             epochs: 30,
             learning_rate: 5e-3,
             eval_every: 0,
             ..TrainerConfig::default()
         });
-        let history = trainer.train(&model, &mut store, train, valid);
+        let history = trainer.train(&model, &mut store, train, valid).unwrap();
         assert_eq!(history.epochs.len(), 30);
         let first_loss = history.epochs.first().unwrap().train_loss;
         let last_loss = history.final_train_loss().unwrap();
@@ -305,9 +316,42 @@ mod tests {
             epochs: 2,
             ..TrainerConfig::default()
         });
-        let history = trainer.train(&model, &mut store, &[], &[circuit]);
+        let history = trainer.train(&model, &mut store, &[], &[circuit]).unwrap();
         assert_eq!(history.epochs.len(), 2);
         assert_eq!(history.epochs[0].train_loss, 0.0);
-        assert_eq!(average_prediction_error(&model, &store, &[]), 0.0);
+        assert_eq!(average_prediction_error(&model, &store, &[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn unlabelled_circuit_fails_before_any_step() {
+        let mut n = Netlist::new("bare");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::And, &[a, b]).unwrap();
+        n.mark_output(g, "y");
+        let circuit = CircuitGraph::from_netlist(&n, FeatureEncoding::AigGates, None);
+        let mut store = ParamStore::new();
+        let model = DagRecGnn::new(
+            &mut store,
+            DagRecConfig {
+                hidden_dim: 8,
+                num_iterations: 1,
+                regressor_hidden: 4,
+                ..DagRecConfig::default()
+            },
+        );
+        let mut trainer = Trainer::new(TrainerConfig::default());
+        let err = trainer
+            .train(&model, &mut store, std::slice::from_ref(&circuit), &[])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            deepgate_gnn::GnnError::UnlabelledCircuit { .. }
+        ));
+        let err = average_prediction_error(&model, &store, &[circuit]).unwrap_err();
+        assert!(matches!(
+            err,
+            deepgate_gnn::GnnError::UnlabelledCircuit { .. }
+        ));
     }
 }

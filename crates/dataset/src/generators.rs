@@ -47,18 +47,18 @@ pub fn priority_arbiter(requests: usize) -> Netlist {
     let mut b = NetlistBuilder::new(format!("arbiter{requests}"));
     let req = b.input_word("req", requests);
     let mut blocked: Option<NodeId> = None;
-    for i in 0..requests {
+    for (i, &request) in req.iter().enumerate() {
         let grant = match blocked {
-            None => req[i],
+            None => request,
             Some(block) => {
                 let not_block = b.not(block);
-                b.and2(req[i], not_block)
+                b.and2(request, not_block)
             }
         };
         b.output(format!("grant[{i}]"), grant);
         blocked = Some(match blocked {
-            None => req[i],
-            Some(block) => b.or2(block, req[i]),
+            None => request,
+            Some(block) => b.or2(block, request),
         });
     }
     b.finish()
@@ -124,9 +124,7 @@ pub fn comparator(width: usize) -> Netlist {
             Some(p) => b.and2(p, term),
         };
         lt_terms.push(term);
-        let bit_eq = b
-            .gate(GateKind::Xnor, &[a[i], c[i]])
-            .expect("binary arity");
+        let bit_eq = b.gate(GateKind::Xnor, &[a[i], c[i]]).expect("binary arity");
         prefix_eq = Some(match prefix_eq {
             None => bit_eq,
             Some(p) => b.and2(p, bit_eq),
@@ -292,7 +290,9 @@ pub fn processor_datapath(scale: usize) -> Netlist {
     };
     let a = read_port(&mut b, &rs1, &regs);
     let b_reg = read_port(&mut b, &rs2, &regs);
-    let operand_b: Vec<NodeId> = (0..width).map(|i| b.mux(use_imm, b_reg[i], imm[i])).collect();
+    let operand_b: Vec<NodeId> = (0..width)
+        .map(|i| b.mux(use_imm, b_reg[i], imm[i]))
+        .collect();
 
     let (sum, carry) = b.ripple_add(&a, &operand_b).expect("equal widths");
     let mut result = Vec::with_capacity(width);
@@ -436,7 +436,11 @@ mod tests {
         inputs[7] = u64::MAX; // b[3]
         inputs[8] = u64::MAX; // op[0] = 1
         let values = simulate_netlist_words(&n, &inputs).unwrap();
-        let bits: Vec<u64> = n.outputs().iter().map(|(id, _)| values[id.index()]).collect();
+        let bits: Vec<u64> = n
+            .outputs()
+            .iter()
+            .map(|(id, _)| values[id.index()])
+            .collect();
         assert_eq!(bits[3], u64::MAX);
         assert_eq!(bits[0], 0);
         assert_eq!(bits[1], 0);
@@ -453,8 +457,14 @@ mod tests {
         let r3 = random_logic(8, 120, 43);
         assert!(r1.validate().is_ok());
         assert_eq!(r1.len(), r2.len());
-        assert_eq!(deepgate_netlist::bench::write(&r1), deepgate_netlist::bench::write(&r2));
-        assert_ne!(deepgate_netlist::bench::write(&r1), deepgate_netlist::bench::write(&r3));
+        assert_eq!(
+            deepgate_netlist::bench::write(&r1),
+            deepgate_netlist::bench::write(&r2)
+        );
+        assert_ne!(
+            deepgate_netlist::bench::write(&r1),
+            deepgate_netlist::bench::write(&r3)
+        );
     }
 
     #[test]

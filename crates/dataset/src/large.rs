@@ -135,7 +135,11 @@ mod tests {
             let netlist = design.generate(0.08);
             assert!(netlist.validate().is_ok(), "{design}");
             let aig = Aig::from_netlist(&netlist).unwrap();
-            assert!(aig.num_ands() > 50, "{design} too small: {}", aig.num_ands());
+            assert!(
+                aig.num_ands() > 50,
+                "{design} too small: {}",
+                aig.num_ands()
+            );
         }
     }
 

@@ -142,11 +142,9 @@ impl Dataset {
         }
 
         // Deterministic shuffled train/test split.
-        let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(0xD5))
-            ;
+        let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(0xD5));
         all.shuffle(&mut rng);
-        let train_count =
-            ((all.len() as f64) * config.train_fraction).round() as usize;
+        let train_count = ((all.len() as f64) * config.train_fraction).round() as usize;
         let train_count = train_count.min(all.len());
         let mut train = Vec::with_capacity(train_count);
         let mut test = Vec::with_capacity(all.len() - train_count);

@@ -101,7 +101,13 @@ impl Aggregator {
     ) -> Self {
         let params = match kind {
             AggregatorKind::ConvSum => AggregatorParams::ConvSum {
-                project: Linear::new(store, &format!("{name}.project"), hidden_dim, hidden_dim, seed),
+                project: Linear::new(
+                    store,
+                    &format!("{name}.project"),
+                    hidden_dim,
+                    hidden_dim,
+                    seed,
+                ),
             },
             AggregatorKind::Attention => AggregatorParams::Attention {
                 query: Linear::new(store, &format!("{name}.query"), hidden_dim, 1, seed),
@@ -127,11 +133,23 @@ impl Aggregator {
                     false,
                     seed,
                 ),
-                rho: Linear::new(store, &format!("{name}.rho"), hidden_dim, hidden_dim, seed + 1),
+                rho: Linear::new(
+                    store,
+                    &format!("{name}.rho"),
+                    hidden_dim,
+                    hidden_dim,
+                    seed + 1,
+                ),
             },
             AggregatorKind::GatedSum => AggregatorParams::GatedSum {
                 gate: Linear::new(store, &format!("{name}.gate"), hidden_dim, hidden_dim, seed),
-                value: Linear::new(store, &format!("{name}.value"), hidden_dim, hidden_dim, seed + 1),
+                value: Linear::new(
+                    store,
+                    &format!("{name}.value"),
+                    hidden_dim,
+                    hidden_dim,
+                    seed + 1,
+                ),
             },
         };
         Aggregator {
@@ -168,6 +186,7 @@ impl Aggregator {
     /// * `edge_attr` — optional `[num_edges, edge_attr_dim]` edge attributes.
     ///
     /// Returns a `[num_targets, d]` message matrix.
+    #[allow(clippy::too_many_arguments)]
     pub fn aggregate(
         &self,
         g: &mut Graph,
@@ -328,8 +347,8 @@ mod tests {
         let qry = Tensor::zeros(3, 8);
         let seg = vec![0usize, 0, 0];
         let msg = agg.aggregate_tensor(&store, &src, &qry, &seg, 1, None);
-        for j in 0..8 {
-            assert!((msg.get(0, j) - row[j]).abs() < 1e-5);
+        for (j, &expected) in row.iter().enumerate() {
+            assert!((msg.get(0, j) - expected).abs() < 1e-5);
         }
     }
 

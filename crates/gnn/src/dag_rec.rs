@@ -12,10 +12,39 @@
 //! | DeepGate w/o SC | Attention | yes | yes | no |
 //! | DeepGate w/ SC | Attention | yes | yes | yes |
 
-use crate::{Aggregator, AggregatorKind, CircuitGraph, LevelBatch, ProbabilityModel};
+use crate::{Aggregator, AggregatorKind, CircuitGraph, GnnError, LevelBatch, ProbabilityModel};
 use deepgate_aig::recon::positional_encoding;
 use deepgate_nn::{Activation, Graph, GruCell, Linear, Mlp, ParamStore, Tensor, Var};
 use serde::{Deserialize, Serialize};
+
+/// Precomputed per-circuit inference state: the extended (skip-connection
+/// augmented) edge lists of every forward level batch.
+///
+/// Building these lists is pure bookkeeping on the circuit structure, yet the
+/// naive inference path rebuilds them once per batch *per recurrence
+/// iteration*. A plan computes them once; [`DagRecGnn::try_predict_into`]
+/// then reuses the plan across iterations — and a serving layer (see
+/// `deepgate::InferenceSession`) reuses it across calls for repeated
+/// circuits.
+#[derive(Debug, Clone)]
+pub struct InferencePlan {
+    /// Per forward batch: skip-extended `(edge_src, edge_seg, attr)`.
+    forward: Vec<(Vec<usize>, Vec<usize>, Option<Tensor>)>,
+    /// Per forward batch: target node of every (extended) edge.
+    forward_targets: Vec<Vec<usize>>,
+    /// Per reverse batch: target node of every edge.
+    reverse_targets: Vec<Vec<usize>>,
+    /// Edge-attribute dimensionality of the model that built the plan
+    /// (guards against reusing a plan across differently-configured models).
+    attr_dim: usize,
+}
+
+impl InferencePlan {
+    /// Number of forward level batches the plan covers.
+    pub fn num_batches(&self) -> usize {
+        self.forward.len()
+    }
+}
 
 /// Configuration of a [`DagRecGnn`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -249,8 +278,7 @@ impl DagRecGnn {
             // Forward propagation in topological order.
             for batch in &circuit.forward_batches {
                 let (edge_src, edge_seg, attr) = self.extended_edges(circuit, batch);
-                let edge_targets: Vec<usize> =
-                    edge_seg.iter().map(|&s| batch.targets[s]).collect();
+                let edge_targets: Vec<usize> = edge_seg.iter().map(|&s| batch.targets[s]).collect();
                 let src_states = g.gather_rows(h, &edge_src);
                 let query_states = g.gather_rows(h, &edge_targets);
                 let attr_var = attr.map(|a| g.input(a));
@@ -266,13 +294,13 @@ impl DagRecGnn {
                 h = self.update_rows(g, store, circuit, h, batch, msg, false);
             }
             // Reversed propagation, if configured.
-            if self.reverse_agg.is_some() {
+            if let Some(reverse_agg) = &self.reverse_agg {
                 for batch in &circuit.reverse_batches {
                     let edge_targets: Vec<usize> =
                         batch.edge_seg.iter().map(|&s| batch.targets[s]).collect();
                     let src_states = g.gather_rows(h, &batch.edge_src);
                     let query_states = g.gather_rows(h, &edge_targets);
-                    let msg = self.reverse_agg.as_ref().expect("checked").aggregate(
+                    let msg = reverse_agg.aggregate(
                         g,
                         store,
                         src_states,
@@ -336,6 +364,45 @@ impl DagRecGnn {
         g.add(kept, scattered)
     }
 
+    /// Validates that a circuit's feature encoding matches the model.
+    fn check_encoding(&self, circuit: &CircuitGraph) -> Result<(), GnnError> {
+        let got = circuit.encoding.dimension();
+        if got != self.config.feature_dim {
+            return Err(GnnError::EncodingMismatch {
+                expected: self.config.feature_dim,
+                got,
+            });
+        }
+        Ok(())
+    }
+
+    /// Precomputes the extended edge lists of every forward batch of a
+    /// circuit, for reuse across recurrence iterations and inference calls.
+    pub fn plan(&self, circuit: &CircuitGraph) -> InferencePlan {
+        let forward: Vec<(Vec<usize>, Vec<usize>, Option<Tensor>)> = circuit
+            .forward_batches
+            .iter()
+            .map(|batch| self.extended_edges(circuit, batch))
+            .collect();
+        let forward_targets = circuit
+            .forward_batches
+            .iter()
+            .zip(&forward)
+            .map(|(batch, (_, edge_seg, _))| edge_seg.iter().map(|&s| batch.targets[s]).collect())
+            .collect();
+        let reverse_targets = circuit
+            .reverse_batches
+            .iter()
+            .map(|batch| batch.edge_seg.iter().map(|&s| batch.targets[s]).collect())
+            .collect();
+        InferencePlan {
+            forward,
+            forward_targets,
+            reverse_targets,
+            attr_dim: self.config.edge_attr_dim(),
+        }
+    }
+
     /// Gradient-free prediction with an explicit iteration count. Used by the
     /// recurrence-iteration sweep (Section IV-D2 of the paper) and for
     /// inference on circuits far larger than the training set (Table III),
@@ -352,9 +419,38 @@ impl DagRecGnn {
             "circuit feature encoding does not match the model configuration"
         );
         let h = self.embed_with_iterations(store, circuit, num_iterations);
-        self.regress_tensor(store, circuit, &h)
-            .as_slice()
-            .to_vec()
+        self.regress_tensor(store, circuit, &h).as_slice().to_vec()
+    }
+
+    /// Gradient-free prediction through a precomputed [`InferencePlan`],
+    /// writing the per-node probabilities into `out` (cleared first, so a
+    /// caller can reuse one allocation across many calls).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::EncodingMismatch`] if the circuit's feature
+    /// encoding does not match the model configuration, and
+    /// [`GnnError::PlanMismatch`] if the plan was built for a different
+    /// circuit or under a different model configuration.
+    pub fn try_predict_into(
+        &self,
+        store: &ParamStore,
+        circuit: &CircuitGraph,
+        plan: &InferencePlan,
+        num_iterations: usize,
+        out: &mut Vec<f32>,
+    ) -> Result<(), GnnError> {
+        self.check_encoding(circuit)?;
+        if plan.forward.len() != circuit.forward_batches.len()
+            || plan.attr_dim != self.config.edge_attr_dim()
+        {
+            return Err(GnnError::PlanMismatch);
+        }
+        let h = self.embed_with_plan(store, circuit, num_iterations, plan);
+        let pred = self.regress_tensor(store, circuit, &h);
+        out.clear();
+        out.extend_from_slice(pred.as_slice());
+        Ok(())
     }
 
     /// Gradient-free computation of the final node embeddings `h_v^T` — the
@@ -366,16 +462,48 @@ impl DagRecGnn {
         circuit: &CircuitGraph,
         num_iterations: usize,
     ) -> Tensor {
+        let plan = self.plan(circuit);
+        self.embed_with_plan(store, circuit, num_iterations, &plan)
+    }
+
+    /// Fallible [`DagRecGnn::embed_with_iterations`]: validates the
+    /// circuit's feature encoding first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::EncodingMismatch`] for incompatible circuits.
+    pub fn try_embed_with_iterations(
+        &self,
+        store: &ParamStore,
+        circuit: &CircuitGraph,
+        num_iterations: usize,
+    ) -> Result<Tensor, GnnError> {
+        self.check_encoding(circuit)?;
+        Ok(self.embed_with_iterations(store, circuit, num_iterations))
+    }
+
+    /// The embedding recurrence over precomputed extended edge lists.
+    fn embed_with_plan(
+        &self,
+        store: &ParamStore,
+        circuit: &CircuitGraph,
+        num_iterations: usize,
+        plan: &InferencePlan,
+    ) -> Tensor {
         let mut h = self.embed.forward_tensor(store, &circuit.features);
         for _ in 0..num_iterations {
-            for batch in &circuit.forward_batches {
-                let (edge_src, edge_seg, attr) = self.extended_edges(circuit, batch);
+            for ((batch, (edge_src, edge_seg, attr)), edge_targets) in circuit
+                .forward_batches
+                .iter()
+                .zip(&plan.forward)
+                .zip(&plan.forward_targets)
+            {
                 let msg = self.aggregate_tensor(
                     store,
                     &h,
-                    circuit,
-                    &edge_src,
-                    &edge_seg,
+                    edge_src,
+                    edge_seg,
+                    edge_targets,
                     batch,
                     attr.as_ref(),
                     false,
@@ -383,13 +511,15 @@ impl DagRecGnn {
                 self.update_rows_tensor(store, circuit, &mut h, batch, &msg, false);
             }
             if self.reverse_agg.is_some() {
-                for batch in &circuit.reverse_batches {
+                for (batch, edge_targets) in
+                    circuit.reverse_batches.iter().zip(&plan.reverse_targets)
+                {
                     let msg = self.aggregate_tensor(
                         store,
                         &h,
-                        circuit,
                         &batch.edge_src,
                         &batch.edge_seg,
+                        edge_targets,
                         batch,
                         None,
                         true,
@@ -406,9 +536,9 @@ impl DagRecGnn {
         &self,
         store: &ParamStore,
         h: &Tensor,
-        _circuit: &CircuitGraph,
         edge_src: &[usize],
         edge_seg: &[usize],
+        edge_targets: &[usize],
         batch: &LevelBatch,
         attr: Option<&Tensor>,
         reverse: bool,
@@ -422,9 +552,8 @@ impl DagRecGnn {
             }
             out
         };
-        let edge_targets: Vec<usize> = edge_seg.iter().map(|&s| batch.targets[s]).collect();
         let src_states = gather(edge_src);
-        let query_states = gather(&edge_targets);
+        let query_states = gather(edge_targets);
         let agg = if reverse {
             self.reverse_agg.as_ref().expect("reverse layer configured")
         } else {
@@ -509,21 +638,40 @@ impl ProbabilityModel for DagRecGnn {
         self.forward_with_iterations(g, store, circuit, self.config.num_iterations)
     }
 
+    fn try_forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        circuit: &CircuitGraph,
+    ) -> Result<Var, GnnError> {
+        self.check_encoding(circuit)?;
+        Ok(self.forward(g, store, circuit))
+    }
+
     fn predict(&self, store: &ParamStore, circuit: &CircuitGraph) -> Vec<f32> {
         self.predict_with_iterations(store, circuit, self.config.num_iterations)
     }
 
+    fn try_predict(
+        &self,
+        store: &ParamStore,
+        circuit: &CircuitGraph,
+    ) -> Result<Vec<f32>, GnnError> {
+        self.check_encoding(circuit)?;
+        Ok(self.predict_with_iterations(store, circuit, self.config.num_iterations))
+    }
+
     fn name(&self) -> String {
-        let base = if self.config.fix_gate_input && self.config.aggregator == AggregatorKind::Attention
-        {
-            if self.config.use_skip_connections {
-                "DeepGate (Attention w/ SC)".to_string()
+        let base =
+            if self.config.fix_gate_input && self.config.aggregator == AggregatorKind::Attention {
+                if self.config.use_skip_connections {
+                    "DeepGate (Attention w/ SC)".to_string()
+                } else {
+                    "DeepGate (Attention w/o SC)".to_string()
+                }
             } else {
-                "DeepGate (Attention w/o SC)".to_string()
-            }
-        } else {
-            format!("DAG-RecGNN ({})", self.config.aggregator)
-        };
+                format!("DAG-RecGNN ({})", self.config.aggregator)
+            };
         format!("{base} T={}", self.config.num_iterations)
     }
 }
@@ -558,6 +706,46 @@ mod tests {
     }
 
     #[test]
+    fn union_prediction_matches_per_circuit_prediction() {
+        // Batched inference over a disjoint union must reproduce the
+        // per-circuit results exactly, for every model variant.
+        let a = reconvergent_graph();
+        let mut n = Netlist::new("chain");
+        let x = n.add_input("x");
+        let y = n.add_input("y");
+        let g1 = n.add_gate(GateKind::And, &[x, y]).unwrap();
+        let g2 = n.add_gate(GateKind::Not, &[g1]).unwrap();
+        let g3 = n.add_gate(GateKind::Not, &[g2]).unwrap();
+        let g4 = n.add_gate(GateKind::And, &[g3, x]).unwrap();
+        n.mark_output(g4, "z");
+        let b = CircuitGraph::from_netlist(&n, FeatureEncoding::AigGates, None);
+
+        let (union, offsets) = CircuitGraph::disjoint_union(&[&a, &b]).unwrap();
+        for (fix, skip) in [(false, false), (true, true)] {
+            let mut store = ParamStore::new();
+            let config = DagRecConfig {
+                fix_gate_input: fix,
+                use_skip_connections: skip,
+                per_type_regressor: fix,
+                ..small_config(AggregatorKind::Attention)
+            };
+            let model = DagRecGnn::new(&mut store, config);
+            let merged = model.predict(&store, &union);
+            for (circuit, &offset) in [&a, &b].iter().zip(&offsets) {
+                let single = model.predict(&store, circuit);
+                for (i, &value) in single.iter().enumerate() {
+                    assert!(
+                        (value - merged[offset + i]).abs() < 1e-6,
+                        "node {i} of `{}`: {value} vs {}",
+                        circuit.name,
+                        merged[offset + i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn forward_produces_probabilities_for_all_aggregators() {
         let circuit = reconvergent_graph();
         for kind in AggregatorKind::ALL {
@@ -574,7 +762,11 @@ mod tests {
     #[test]
     fn tensor_prediction_matches_tape_prediction() {
         let circuit = reconvergent_graph();
-        for (fix, skip, per_type) in [(false, false, false), (true, false, false), (true, true, true)] {
+        for (fix, skip, per_type) in [
+            (false, false, false),
+            (true, false, false),
+            (true, true, true),
+        ] {
             let mut store = ParamStore::new();
             let config = DagRecConfig {
                 aggregator: AggregatorKind::Attention,
@@ -634,11 +826,7 @@ mod tests {
         let model_b = DagRecGnn::new(&mut store_b, skip_config);
         let pred_a = model_a.predict(&store_a, &circuit);
         let pred_b = model_b.predict(&store_b, &circuit);
-        let diff: f32 = pred_a
-            .iter()
-            .zip(&pred_b)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let diff: f32 = pred_a.iter().zip(&pred_b).map(|(a, b)| (a - b).abs()).sum();
         assert!(diff > 1e-6);
     }
 

@@ -1,0 +1,91 @@
+use std::fmt;
+
+/// Errors produced by the GNN layer: label bookkeeping and model/circuit
+/// compatibility problems that used to panic in earlier revisions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GnnError {
+    /// A labelled operation (loss, evaluation) was given a circuit graph
+    /// without labels attached.
+    UnlabelledCircuit {
+        /// Design name of the offending circuit.
+        name: String,
+    },
+    /// Predictions and labels have different lengths.
+    LengthMismatch {
+        /// Design name of the offending circuit.
+        name: String,
+        /// Label count of the circuit.
+        expected: usize,
+        /// Prediction count supplied.
+        got: usize,
+    },
+    /// A circuit's feature encoding does not match the model configuration
+    /// (e.g. a 12-feature untransformed netlist fed to a 3-feature AIG
+    /// model).
+    EncodingMismatch {
+        /// Feature dimensionality the model was built for.
+        expected: usize,
+        /// Feature dimensionality of the circuit graph.
+        got: usize,
+    },
+    /// A precomputed inference plan does not belong to the circuit/model
+    /// pair it was used with (e.g. prepared under a different
+    /// skip-connection configuration).
+    PlanMismatch,
+}
+
+impl fmt::Display for GnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GnnError::UnlabelledCircuit { name } => {
+                write!(f, "circuit `{name}` has no labels attached")
+            }
+            GnnError::LengthMismatch {
+                name,
+                expected,
+                got,
+            } => write!(
+                f,
+                "circuit `{name}`: {got} predictions for {expected} labels"
+            ),
+            GnnError::EncodingMismatch { expected, got } => write!(
+                f,
+                "circuit feature dimension {got} does not match the model's {expected}"
+            ),
+            GnnError::PlanMismatch => write!(
+                f,
+                "inference plan does not belong to this circuit/model pair"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_traits() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GnnError>();
+        assert!(GnnError::UnlabelledCircuit { name: "c17".into() }
+            .to_string()
+            .contains("c17"));
+        assert!(GnnError::LengthMismatch {
+            name: "x".into(),
+            expected: 5,
+            got: 2
+        }
+        .to_string()
+        .contains('5'));
+        assert!(GnnError::EncodingMismatch {
+            expected: 3,
+            got: 12
+        }
+        .to_string()
+        .contains("12"));
+    }
+}

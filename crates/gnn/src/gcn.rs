@@ -124,15 +124,8 @@ impl ProbabilityModel for Gcn {
         for layer in 0..self.config.num_layers {
             let src_states = g.gather_rows(h, &edge_src);
             let dst_states = g.gather_rows(h, &edge_dst);
-            let msg = self.aggregators[layer].aggregate(
-                g,
-                store,
-                src_states,
-                dst_states,
-                &edge_dst,
-                n,
-                None,
-            );
+            let msg = self.aggregators[layer]
+                .aggregate(g, store, src_states, dst_states, &edge_dst, n, None);
             let concat = g.concat_cols(h, msg);
             let combined = self.combiners[layer].forward(g, store, concat);
             h = g.relu(combined);

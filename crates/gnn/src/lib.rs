@@ -22,13 +22,15 @@
 mod aggregator;
 mod dag_conv;
 mod dag_rec;
+mod error;
 mod gcn;
 mod graph;
 mod model;
 
 pub use aggregator::{Aggregator, AggregatorKind};
 pub use dag_conv::{DagConvConfig, DagConvGnn};
-pub use dag_rec::{DagRecConfig, DagRecGnn};
+pub use dag_rec::{DagRecConfig, DagRecGnn, InferencePlan};
+pub use error::GnnError;
 pub use gcn::{Gcn, GcnConfig};
 pub use graph::{CircuitGraph, FeatureEncoding, LevelBatch, SkipEdge};
 pub use model::{evaluate_prediction_error, masked_l1_loss, ProbabilityModel};

@@ -1,6 +1,6 @@
 //! The common interface all probability-prediction models implement.
 
-use crate::CircuitGraph;
+use crate::{CircuitGraph, GnnError};
 use deepgate_nn::{Graph, ParamStore, Tensor, Var};
 
 /// A model that predicts the signal probability of every node of a circuit.
@@ -14,6 +14,19 @@ pub trait ProbabilityModel {
     /// `[num_nodes, 1]` prediction variable (values in `[0, 1]`).
     fn forward(&self, g: &mut Graph, store: &ParamStore, circuit: &CircuitGraph) -> Var;
 
+    /// Fallible forward pass: validates model/circuit compatibility before
+    /// recording the tape. Models with structural requirements (e.g. a fixed
+    /// feature encoding) override this to report [`GnnError`] instead of
+    /// panicking.
+    fn try_forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        circuit: &CircuitGraph,
+    ) -> Result<Var, GnnError> {
+        Ok(self.forward(g, store, circuit))
+    }
+
     /// Gradient-free forward pass; the default implementation runs the tape
     /// forward and extracts the values, models override it with a cheaper
     /// tensor-only path for inference on large circuits.
@@ -21,6 +34,17 @@ pub trait ProbabilityModel {
         let mut g = Graph::new();
         let pred = self.forward(&mut g, store, circuit);
         g.value(pred).as_slice().to_vec()
+    }
+
+    /// Fallible gradient-free prediction — the serving entry point. Like
+    /// [`ProbabilityModel::try_forward`], models override this to turn
+    /// compatibility panics into [`GnnError`]s.
+    fn try_predict(
+        &self,
+        store: &ParamStore,
+        circuit: &CircuitGraph,
+    ) -> Result<Vec<f32>, GnnError> {
+        Ok(self.predict(store, circuit))
     }
 
     /// A short, human-readable model name (used in experiment tables).
@@ -33,19 +57,27 @@ pub trait ProbabilityModel {
 /// The error is computed over logic-gate nodes only (primary inputs have a
 /// trivially known probability of 0.5 and would dilute the metric).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the circuit has no labels or the prediction length mismatches.
-pub fn evaluate_prediction_error(predictions: &[f32], circuit: &CircuitGraph) -> f64 {
+/// Returns [`GnnError::UnlabelledCircuit`] if the circuit has no labels and
+/// [`GnnError::LengthMismatch`] if the prediction length does not match.
+pub fn evaluate_prediction_error(
+    predictions: &[f32],
+    circuit: &CircuitGraph,
+) -> Result<f64, GnnError> {
     let labels = circuit
         .labels
         .as_ref()
-        .expect("circuit graph has no labels attached");
-    assert_eq!(
-        predictions.len(),
-        labels.len(),
-        "prediction / label length mismatch"
-    );
+        .ok_or_else(|| GnnError::UnlabelledCircuit {
+            name: circuit.name.clone(),
+        })?;
+    if predictions.len() != labels.len() {
+        return Err(GnnError::LengthMismatch {
+            name: circuit.name.clone(),
+            expected: labels.len(),
+            got: predictions.len(),
+        });
+    }
     let mut sum = 0.0f64;
     let mut count = 0usize;
     for i in 0..labels.len() {
@@ -54,24 +86,25 @@ pub fn evaluate_prediction_error(predictions: &[f32], circuit: &CircuitGraph) ->
             count += 1;
         }
     }
-    if count == 0 {
-        0.0
-    } else {
-        sum / count as f64
-    }
+    Ok(if count == 0 { 0.0 } else { sum / count as f64 })
 }
 
 /// Computes the L1 training loss over gate nodes on the tape: predictions and
 /// labels are masked so primary inputs do not contribute gradient.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the circuit has no labels.
+/// Returns [`GnnError::UnlabelledCircuit`] if the circuit has no labels.
 pub fn masked_l1_loss(
     g: &mut Graph,
     predictions: Var,
     circuit: &CircuitGraph,
-) -> Var {
+) -> Result<Var, GnnError> {
+    if circuit.labels.is_none() {
+        return Err(GnnError::UnlabelledCircuit {
+            name: circuit.name.clone(),
+        });
+    }
     let labels = circuit.label_tensor();
     let mask: Vec<f32> = circuit
         .gate_mask
@@ -91,7 +124,7 @@ pub fn masked_l1_loss(
     );
     // Mean over all nodes rescaled to a mean over gate nodes.
     let raw = g.l1_loss(masked_pred, &masked_labels);
-    g.scale(raw, circuit.num_nodes as f32 / num_gates)
+    Ok(g.scale(raw, circuit.num_nodes as f32 / num_gates))
 }
 
 #[cfg(test)]
@@ -115,28 +148,56 @@ mod tests {
     fn prediction_error_only_counts_gates() {
         let graph = labelled_graph();
         // Inputs are wrong by 0.5 but must not count; the gate is wrong by 0.05.
-        let err = evaluate_prediction_error(&[0.0, 1.0, 0.30], &graph);
+        let err = evaluate_prediction_error(&[0.0, 1.0, 0.30], &graph).unwrap();
         assert!((err - 0.05).abs() < 1e-6);
         // Perfect prediction gives zero error.
-        assert_eq!(evaluate_prediction_error(&[0.5, 0.5, 0.25], &graph), 0.0);
+        assert_eq!(
+            evaluate_prediction_error(&[0.5, 0.5, 0.25], &graph).unwrap(),
+            0.0
+        );
     }
 
     #[test]
     fn masked_loss_ignores_input_nodes() {
         let graph = labelled_graph();
-        let mut store = deepgate_nn::ParamStore::new();
         let mut g = Graph::new();
         // Predictions that are perfect on the gate but wrong on the inputs.
         let pred = g.input(Tensor::column(&[0.9, 0.1, 0.25]));
-        let loss = masked_l1_loss(&mut g, pred, &graph);
+        let loss = masked_l1_loss(&mut g, pred, &graph).unwrap();
         assert!(g.value(loss).get(0, 0).abs() < 1e-6);
-        let _ = &mut store;
     }
 
     #[test]
-    #[should_panic(expected = "length mismatch")]
-    fn prediction_error_checks_lengths() {
+    fn prediction_error_reports_length_mismatch() {
         let graph = labelled_graph();
-        let _ = evaluate_prediction_error(&[0.1], &graph);
+        let err = evaluate_prediction_error(&[0.1], &graph).unwrap_err();
+        assert!(matches!(
+            err,
+            GnnError::LengthMismatch {
+                expected: 3,
+                got: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unlabelled_circuit_is_an_error_not_a_panic() {
+        let mut n = Netlist::new("bare");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g1 = n.add_gate(GateKind::And, &[a, b]).unwrap();
+        n.mark_output(g1, "y");
+        let graph = CircuitGraph::from_netlist(&n, FeatureEncoding::AigGates, None);
+        assert!(matches!(
+            evaluate_prediction_error(&[0.5, 0.5, 0.25], &graph),
+            Err(GnnError::UnlabelledCircuit { .. })
+        ));
+        let mut g = Graph::new();
+        let pred = g.input(Tensor::column(&[0.5, 0.5, 0.25]));
+        assert!(matches!(
+            masked_l1_loss(&mut g, pred, &graph),
+            Err(GnnError::UnlabelledCircuit { .. })
+        ));
     }
 }

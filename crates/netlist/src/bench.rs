@@ -89,10 +89,7 @@ pub fn parse(text: &str, name: impl Into<String>) -> Result<Netlist, NetlistErro
         let args: Vec<String> = if args_str.is_empty() {
             Vec::new()
         } else {
-            args_str
-                .split(',')
-                .map(|s| s.trim().to_string())
-                .collect()
+            args_str.split(',').map(|s| s.trim().to_string()).collect()
         };
         gates.push(GateLine {
             line_no,
@@ -214,7 +211,11 @@ pub fn write(netlist: &Netlist) -> String {
         let _ = writeln!(
             out,
             "OUTPUT({})",
-            if drives_same_name { signal(*po) } else { name.clone() }
+            if drives_same_name {
+                signal(*po)
+            } else {
+                name.clone()
+            }
         );
     }
     for (id, node) in netlist.iter() {

@@ -65,7 +65,10 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase_start() {
         let cases = [
-            NetlistError::ArityMismatch { kind: "Not", got: 2 },
+            NetlistError::ArityMismatch {
+                kind: "Not",
+                got: 2,
+            },
             NetlistError::UnknownNode(3),
             NetlistError::UndefinedSignal("x".into()),
             NetlistError::DuplicateSignal("y".into()),

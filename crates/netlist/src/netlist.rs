@@ -172,7 +172,11 @@ impl Netlist {
     pub fn add_const(&mut self, value: bool) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node {
-            kind: if value { GateKind::Const1 } else { GateKind::Const0 },
+            kind: if value {
+                GateKind::Const1
+            } else {
+                GateKind::Const0
+            },
             fanins: Vec::new(),
             name: None,
         });

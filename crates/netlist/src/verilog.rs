@@ -62,7 +62,13 @@ pub fn write(netlist: &Netlist) -> String {
                     .first()
                     .map(|&pi| signal(pi))
                     .unwrap_or_else(|| aux.clone());
-                emit(&mut body, "not", &aux, &[base.clone()], &mut instance);
+                emit(
+                    &mut body,
+                    "not",
+                    &aux,
+                    std::slice::from_ref(&base),
+                    &mut instance,
+                );
                 emit(&mut body, "and", &out, &[base, aux], &mut instance);
             }
             GateKind::Const1 => {
@@ -74,7 +80,13 @@ pub fn write(netlist: &Netlist) -> String {
                     .first()
                     .map(|&pi| signal(pi))
                     .unwrap_or_else(|| aux.clone());
-                emit(&mut body, "not", &aux, &[base.clone()], &mut instance);
+                emit(
+                    &mut body,
+                    "not",
+                    &aux,
+                    std::slice::from_ref(&base),
+                    &mut instance,
+                );
                 emit(&mut body, "or", &out, &[base, aux], &mut instance);
             }
             GateKind::Mux => {
@@ -88,7 +100,13 @@ pub fn write(netlist: &Netlist) -> String {
                 for w in [&ns, &ta, &tb, &out] {
                     wires.push(w.clone());
                 }
-                emit(&mut body, "not", &ns, &[s.clone()], &mut instance);
+                emit(
+                    &mut body,
+                    "not",
+                    &ns,
+                    std::slice::from_ref(&s),
+                    &mut instance,
+                );
                 emit(&mut body, "and", &ta, &[ns, a], &mut instance);
                 emit(&mut body, "and", &tb, &[s, b], &mut instance);
                 emit(&mut body, "or", &out, &[ta, tb], &mut instance);
@@ -119,7 +137,11 @@ pub fn write(netlist: &Netlist) -> String {
         let name = sanitise_identifier(name);
         let driver = signal(*po);
         if driver != name {
-            let _ = writeln!(output_aliases, "  buf alias_{} ({name}, {driver});", outputs.len());
+            let _ = writeln!(
+                output_aliases,
+                "  buf alias_{} ({name}, {driver});",
+                outputs.len()
+            );
         }
         outputs.push(name);
     }
@@ -151,7 +173,13 @@ pub fn write(netlist: &Netlist) -> String {
 fn sanitise_identifier(name: &str) -> String {
     let mut s: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.is_empty() || s.chars().next().expect("non-empty").is_ascii_digit() {
         s.insert(0, '_');

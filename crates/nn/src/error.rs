@@ -47,7 +47,9 @@ mod tests {
     fn display_and_traits() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<NnError>();
-        assert!(NnError::MissingParameter("w".into()).to_string().contains("w"));
+        assert!(NnError::MissingParameter("w".into())
+            .to_string()
+            .contains("w"));
         let e = NnError::ShapeMismatch {
             name: "w".into(),
             expected: vec![2, 2],

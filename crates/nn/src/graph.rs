@@ -661,7 +661,10 @@ mod tests {
     #[test]
     fn gather_scatter_gradients() {
         let mut store = ParamStore::new();
-        let w = store.add("w", Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]));
+        let w = store.add(
+            "w",
+            Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]),
+        );
         let indices = vec![0usize, 2, 2, 1];
         let targets = vec![0usize, 1, 1, 0];
         let target = Tensor::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]);

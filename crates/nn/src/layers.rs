@@ -134,7 +134,15 @@ impl Mlp {
         let layers = sizes
             .windows(2)
             .enumerate()
-            .map(|(i, w)| Linear::new(store, &format!("{name}.layer{i}"), w[0], w[1], seed + i as u64))
+            .map(|(i, w)| {
+                Linear::new(
+                    store,
+                    &format!("{name}.layer{i}"),
+                    w[0],
+                    w[1],
+                    seed + i as u64,
+                )
+            })
             .collect();
         Mlp {
             layers,
@@ -220,7 +228,13 @@ impl GruCell {
         seed: u64,
     ) -> Self {
         GruCell {
-            w_xr: Linear::new(store, &format!("{name}.w_xr"), input_size, hidden_size, seed),
+            w_xr: Linear::new(
+                store,
+                &format!("{name}.w_xr"),
+                input_size,
+                hidden_size,
+                seed,
+            ),
             w_hr: Linear::new_without_bias(
                 store,
                 &format!("{name}.w_hr"),
@@ -228,7 +242,13 @@ impl GruCell {
                 hidden_size,
                 seed + 1,
             ),
-            w_xz: Linear::new(store, &format!("{name}.w_xz"), input_size, hidden_size, seed + 2),
+            w_xz: Linear::new(
+                store,
+                &format!("{name}.w_xz"),
+                input_size,
+                hidden_size,
+                seed + 2,
+            ),
             w_hz: Linear::new_without_bias(
                 store,
                 &format!("{name}.w_hz"),
@@ -236,7 +256,13 @@ impl GruCell {
                 hidden_size,
                 seed + 3,
             ),
-            w_xn: Linear::new(store, &format!("{name}.w_xn"), input_size, hidden_size, seed + 4),
+            w_xn: Linear::new(
+                store,
+                &format!("{name}.w_xn"),
+                input_size,
+                hidden_size,
+                seed + 4,
+            ),
             w_hn: Linear::new_without_bias(
                 store,
                 &format!("{name}.w_hn"),
@@ -339,7 +365,11 @@ mod tests {
         let x = g.input(Tensor::randn(5, 4, 1.0, 9));
         let y = mlp.forward(&mut g, &store, x);
         assert_eq!(g.value(y).shape(), [5, 1]);
-        assert!(g.value(y).as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(g
+            .value(y)
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]
@@ -367,7 +397,11 @@ mod tests {
             .as_slice()
             .iter()
             .fold(1.0f32, |acc, &v| acc.max(v.abs()));
-        assert!(g.value(h2).as_slice().iter().all(|&v| v.abs() <= bound + 1e-5));
+        assert!(g
+            .value(h2)
+            .as_slice()
+            .iter()
+            .all(|&v| v.abs() <= bound + 1e-5));
     }
 
     #[test]
@@ -376,7 +410,13 @@ mod tests {
         let mut store = ParamStore::new();
         let layer = Linear::new(&mut store, "fit", 2, 1, 5);
         let mut adam = Adam::with_defaults(0.05);
-        let x = Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0], &[0.5, 2.0]]);
+        let x = Tensor::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[1.0, 1.0],
+            &[2.0, 1.0],
+            &[0.5, 2.0],
+        ]);
         let target = Tensor::from_rows(&[&[2.0], &[-1.0], &[1.0], &[3.0], &[-1.0]]);
         let mut last_loss = f32::MAX;
         for _ in 0..300 {

@@ -134,7 +134,8 @@ impl Adam {
                 v.as_mut_slice()[i] = vi;
                 let m_hat = mi / bias1;
                 let v_hat = vi / bias2;
-                value.as_mut_slice()[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+                value.as_mut_slice()[i] -=
+                    self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
             }
         }
     }

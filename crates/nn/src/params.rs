@@ -246,7 +246,10 @@ mod tests {
             store.load_json("{}"),
             Err(NnError::MissingParameter(_))
         ));
-        assert!(matches!(store.load_json("not json"), Err(NnError::Serde(_))));
+        assert!(matches!(
+            store.load_json("not json"),
+            Err(NnError::Serde(_))
+        ));
         let mut other = ParamStore::new();
         other.add("w", Tensor::zeros(3, 3));
         let json = other.to_json().unwrap();

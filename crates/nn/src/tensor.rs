@@ -192,7 +192,8 @@ impl Tensor {
     /// Panics if the inner dimensions do not match.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} @ {:?}",
             self.shape(),
             other.shape()

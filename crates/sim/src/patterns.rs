@@ -70,7 +70,11 @@ mod tests {
     fn bits_are_roughly_balanced() {
         // Sanity check that the generator is not obviously biased.
         let mut src = PatternSource::new(1, 9);
-        let ones: u32 = src.word_rows(256).iter().map(|row| row[0].count_ones()).sum();
+        let ones: u32 = src
+            .word_rows(256)
+            .iter()
+            .map(|row| row[0].count_ones())
+            .sum();
         let total = 256 * 64;
         let ratio = ones as f64 / total as f64;
         assert!((0.45..0.55).contains(&ratio), "ratio {ratio}");

@@ -44,7 +44,10 @@ impl SignalProbability {
             .par_iter()
             .map(|row| {
                 let values = simulate_aig_words(aig, row).expect("input count matches");
-                values.iter().map(|w| w.count_ones() as u64).collect::<Vec<u64>>()
+                values
+                    .iter()
+                    .map(|w| w.count_ones() as u64)
+                    .collect::<Vec<u64>>()
             })
             .reduce(
                 || vec![0u64; aig.len()],
@@ -90,7 +93,10 @@ impl SignalProbability {
             .par_iter()
             .map(|row| {
                 let values = simulate_netlist_words(netlist, row).expect("input count matches");
-                values.iter().map(|w| w.count_ones() as u64).collect::<Vec<u64>>()
+                values
+                    .iter()
+                    .map(|w| w.count_ones() as u64)
+                    .collect::<Vec<u64>>()
             })
             .reduce(
                 || vec![0u64; netlist.len()],
@@ -248,7 +254,11 @@ mod tests {
         // inner AND; resolve via the output literal.
         let (lit, _) = aig.outputs()[0];
         let node_p = probs.of(lit.node());
-        let p = if lit.is_complemented() { 1.0 - node_p } else { node_p };
+        let p = if lit.is_complemented() {
+            1.0 - node_p
+        } else {
+            node_p
+        };
         assert!((p - 0.625).abs() < 1e-9);
         let _ = y;
     }

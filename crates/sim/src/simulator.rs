@@ -49,7 +49,10 @@ pub fn simulate_aig_words(aig: &Aig, input_words: &[u64]) -> Result<Vec<u64>, Si
 ///
 /// Returns [`SimError::InputCountMismatch`] if the number of input words does
 /// not match the number of primary inputs.
-pub fn simulate_netlist_words(netlist: &Netlist, input_words: &[u64]) -> Result<Vec<u64>, SimError> {
+pub fn simulate_netlist_words(
+    netlist: &Netlist,
+    input_words: &[u64],
+) -> Result<Vec<u64>, SimError> {
     if input_words.len() != netlist.num_inputs() {
         return Err(SimError::InputCountMismatch {
             expected: netlist.num_inputs(),
@@ -119,7 +122,11 @@ mod tests {
         aig.add_output(nand, "nand");
         let values = simulate_aig_words(&aig, &[0xF0F0, 0xFF00]).unwrap();
         let node_val = values[nand.node()];
-        let lit_val = if nand.is_complemented() { !node_val } else { node_val };
+        let lit_val = if nand.is_complemented() {
+            !node_val
+        } else {
+            node_val
+        };
         assert_eq!(lit_val, !(0xF0F0u64 & 0xFF00u64));
     }
 
@@ -135,14 +142,22 @@ mod tests {
         n.mark_output(g3, "y");
         let aig = Aig::from_netlist(&n).unwrap();
 
-        let words = [0x1234_5678_9ABC_DEF0u64, 0x0F0F_F0F0_00FF_FF00, 0xAAAA_5555_CCCC_3333];
+        let words = [
+            0x1234_5678_9ABC_DEF0u64,
+            0x0F0F_F0F0_00FF_FF00,
+            0xAAAA_5555_CCCC_3333,
+        ];
         let nv = simulate_netlist_words(&n, &words).unwrap();
         let av = simulate_aig_words(&aig, &words).unwrap();
         // Compare the primary output value.
         let n_out = nv[n.outputs()[0].0.index()];
         let (lit, _) = aig.outputs()[0];
         let a_out_raw = av[lit.node()];
-        let a_out = if lit.is_complemented() { !a_out_raw } else { a_out_raw };
+        let a_out = if lit.is_complemented() {
+            !a_out_raw
+        } else {
+            a_out_raw
+        };
         assert_eq!(n_out, a_out);
     }
 
@@ -151,12 +166,24 @@ mod tests {
         let mut aig = Aig::new("t");
         let _ = aig.add_input("a");
         let err = simulate_aig_words(&aig, &[]).unwrap_err();
-        assert!(matches!(err, SimError::InputCountMismatch { expected: 1, got: 0 }));
+        assert!(matches!(
+            err,
+            SimError::InputCountMismatch {
+                expected: 1,
+                got: 0
+            }
+        ));
 
         let mut n = Netlist::new("t");
         let _ = n.add_input("a");
         let err = simulate_netlist_words(&n, &[1, 2]).unwrap_err();
-        assert!(matches!(err, SimError::InputCountMismatch { expected: 1, got: 2 }));
+        assert!(matches!(
+            err,
+            SimError::InputCountMismatch {
+                expected: 1,
+                got: 2
+            }
+        ));
     }
 
     #[test]

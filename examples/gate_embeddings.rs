@@ -1,51 +1,51 @@
-//! Gate-embedding exploration: train DeepGate on a small dataset, then use
-//! the learned per-gate vectors to find functionally similar gates across
-//! two different circuits — the "general representation" use-case the paper
-//! targets for downstream EDA tasks.
+//! Gate-embedding exploration: train DeepGate on a small dataset through the
+//! [`deepgate::Engine`], then use the learned per-gate vectors to find
+//! functionally similar gates across two different circuits — the "general
+//! representation" use-case the paper targets for downstream EDA tasks.
 //!
 //! ```bash
 //! cargo run --release --example gate_embeddings
 //! ```
 
-use deepgate::aig::Aig;
-use deepgate::core::{DeepGate, DeepGateConfig, Trainer, TrainerConfig};
-use deepgate::dataset::{generators, labelled_circuit_from_aig};
+use deepgate::dataset::generators;
+use deepgate::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Train briefly on a handful of small circuits.
-    let training_netlists = vec![
+fn main() -> Result<(), DeepGateError> {
+    // Train briefly on a handful of small circuits via the unified engine.
+    let mut engine = Engine::builder()
+        .model(DeepGateConfig {
+            hidden_dim: 32,
+            num_iterations: 4,
+            ..DeepGateConfig::default()
+        })
+        .trainer(TrainerConfig {
+            epochs: 15,
+            learning_rate: 3e-3,
+            ..TrainerConfig::default()
+        })
+        .num_patterns(4_096)
+        .build()?;
+    let training_source = NetlistSource::new(vec![
         generators::ripple_carry_adder(6),
         generators::comparator(6),
         generators::priority_arbiter(8),
         generators::parity_tree(12),
-    ];
-    let mut train = Vec::new();
-    for (i, netlist) in training_netlists.iter().enumerate() {
-        let aig = Aig::from_netlist(netlist)?;
-        train.push(labelled_circuit_from_aig(&aig, 4_096, i as u64)?);
-    }
-    let mut model = DeepGate::new(DeepGateConfig {
-        hidden_dim: 32,
-        num_iterations: 4,
-        ..DeepGateConfig::default()
-    });
-    let mut trainer = Trainer::new(TrainerConfig {
-        epochs: 15,
-        learning_rate: 3e-3,
-        ..TrainerConfig::default()
-    });
-    let inner = model.model().clone();
-    trainer.train(&inner, model.store_mut(), &train, &[]);
-    println!("trained DeepGate ({} weights) on {} circuits", model.num_weights(), train.len());
+    ]);
+    engine.fit(&training_source)?;
+    println!(
+        "trained DeepGate ({} weights) through the engine",
+        engine.model().num_weights()
+    );
 
     // Embed two unseen circuits and find, for a probe gate in the first, the
     // most similar gates in the second by cosine similarity.
-    let probe_aig = Aig::from_netlist(&generators::alu(4))?;
-    let other_aig = Aig::from_netlist(&generators::counter_next_state(8))?;
-    let probe = labelled_circuit_from_aig(&probe_aig, 4_096, 101)?;
-    let other = labelled_circuit_from_aig(&other_aig, 4_096, 102)?;
-    let probe_emb = model.embeddings(&probe);
-    let other_emb = model.embeddings(&other);
+    let unseen = engine.prepare(&NetlistSource::new(vec![
+        generators::alu(4),
+        generators::counter_next_state(8),
+    ]))?;
+    let (probe, other) = (&unseen[0], &unseen[1]);
+    let probe_emb = engine.embeddings(probe)?;
+    let other_emb = engine.embeddings(other)?;
 
     let cosine = |a: &[f32], b: &[f32]| -> f32 {
         let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();

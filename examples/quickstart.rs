@@ -1,32 +1,37 @@
-//! Quickstart: build a circuit, normalise it to AIG form, label it with
-//! logic-simulated signal probabilities and run DeepGate over it.
+//! Quickstart: build a circuit, feed it through the [`deepgate::Engine`]
+//! (AIG normalisation + simulated probability labels), fine-tune briefly and
+//! serve predictions through an [`deepgate::InferenceSession`].
 //!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
 
-use deepgate::aig::Aig;
-use deepgate::core::{DeepGate, DeepGateConfig, Trainer, TrainerConfig};
-use deepgate::dataset::{generators, labelled_circuit_from_aig};
-use deepgate::gnn::evaluate_prediction_error;
+use deepgate::dataset::generators;
+use deepgate::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Build a gate-level circuit (an 8-bit ALU) and map it to an AIG —
-    //    the circuit transformation step of the DeepGate flow.
-    let netlist = generators::alu(8);
-    let aig = Aig::from_netlist(&netlist)?;
-    println!(
-        "circuit `{}`: {} gates -> AIG with {} AND nodes, depth {}",
-        netlist.name(),
-        netlist.num_gates(),
-        aig.num_ands(),
-        aig.levels().1
-    );
+fn main() -> Result<(), DeepGateError> {
+    // 1. Configure the engine: model size, training recipe and the
+    //    labelling pipeline all live behind one builder.
+    let mut engine = Engine::builder()
+        .model(DeepGateConfig {
+            hidden_dim: 32,
+            num_iterations: 4,
+            ..DeepGateConfig::default()
+        })
+        .trainer(TrainerConfig {
+            epochs: 20,
+            learning_rate: 3e-3,
+            ..TrainerConfig::default()
+        })
+        .num_patterns(8_192)
+        .build()?;
 
-    // 2. Label every node with its signal probability via logic simulation
-    //    and build the learning representation (one-hot gate features,
-    //    level-batched edges, reconvergence skip edges).
-    let circuit = labelled_circuit_from_aig(&aig, 8_192, 7)?;
+    // 2. Ingest a gate-level circuit (an 8-bit ALU). `prepare` maps it to
+    //    AIG form, labels every node with its logic-simulated signal
+    //    probability and encodes the learning representation.
+    let source = NetlistSource::from(generators::alu(8));
+    let circuits = engine.prepare(&source)?;
+    let circuit = &circuits[0];
     println!(
         "circuit graph: {} nodes, {} levels, {} reconvergence skip edges",
         circuit.num_nodes,
@@ -34,32 +39,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         circuit.skip_edges.len()
     );
 
-    // 3. Create a DeepGate model and fine-tune it briefly on this single
-    //    circuit (a real workflow trains on thousands of sub-circuits; see
-    //    the `table2` experiment binary).
-    let mut model = DeepGate::new(DeepGateConfig {
-        hidden_dim: 32,
-        num_iterations: 4,
-        ..DeepGateConfig::default()
-    });
-    let before = evaluate_prediction_error(&model.predict(&circuit), &circuit);
-
-    let mut trainer = Trainer::new(TrainerConfig {
-        epochs: 20,
-        learning_rate: 3e-3,
-        ..TrainerConfig::default()
-    });
-    let inner = model.model().clone();
-    let history = trainer.train(&inner, model.store_mut(), &[circuit.clone()], &[circuit.clone()]);
-    let after = evaluate_prediction_error(&model.predict(&circuit), &circuit);
+    // 3. Fine-tune on this single circuit (a real workflow trains on
+    //    thousands of sub-circuits; see the `table2` experiment binary).
+    let before = engine.evaluate(&circuits)?;
+    let history = engine.train(&circuits, &circuits)?;
+    let after = engine.evaluate(&circuits)?;
     println!(
         "avg prediction error: {before:.4} before training -> {after:.4} after {} epochs",
         history.epochs.len()
     );
 
-    // 4. The per-gate embeddings are the representations downstream EDA
-    //    tasks would consume.
-    let embeddings = model.embeddings(&circuit);
+    // 4. Serve through a session: batched prediction plus the per-gate
+    //    embeddings downstream EDA tasks would consume.
+    let session = engine.session();
+    let batch = session.predict_batch(&circuits)?;
+    println!("served {} circuits in one batch", batch.len());
+    let embeddings = session.model().embeddings(circuit);
     println!(
         "learned {}-dimensional embeddings for {} gates",
         embeddings.cols(),

@@ -1,55 +1,52 @@
 //! Testability screening of a large design without running full logic
-//! simulation: a trained DeepGate model predicts per-gate signal
-//! probabilities on a processor-like datapath, and gates with extreme
-//! probabilities are flagged as random-pattern-resistant hotspots — the
-//! classic test-point-insertion use case cited in the paper's introduction.
+//! simulation: a DeepGate engine trained on small blocks predicts per-gate
+//! signal probabilities on a processor-like datapath through an
+//! [`deepgate::InferenceSession`], and gates with extreme probabilities are
+//! flagged as random-pattern-resistant hotspots — the classic
+//! test-point-insertion use case cited in the paper's introduction.
 //!
 //! ```bash
 //! cargo run --release --example testability_hotspots
 //! ```
 
-use deepgate::aig::Aig;
-use deepgate::core::{DeepGate, DeepGateConfig, Trainer, TrainerConfig};
-use deepgate::dataset::{generators, labelled_circuit_from_aig, LargeDesign};
+use deepgate::dataset::{generators, LargeDesign};
 use deepgate::gnn::evaluate_prediction_error;
+use deepgate::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Train on small arithmetic/control blocks.
-    let mut train = Vec::new();
-    for (i, netlist) in [
+fn main() -> Result<(), DeepGateError> {
+    // Train on small arithmetic/control blocks through the engine.
+    let mut engine = Engine::builder()
+        .model(DeepGateConfig {
+            hidden_dim: 32,
+            num_iterations: 4,
+            ..DeepGateConfig::default()
+        })
+        .trainer(TrainerConfig {
+            epochs: 15,
+            learning_rate: 3e-3,
+            ..TrainerConfig::default()
+        })
+        .num_patterns(4_096)
+        .build()?;
+    engine.fit(&NetlistSource::new(vec![
         generators::alu(6),
         generators::ripple_carry_adder(8),
         generators::decoder(4),
         generators::masked_arbiter(8),
-    ]
-    .iter()
-    .enumerate()
-    {
-        let aig = Aig::from_netlist(netlist)?;
-        train.push(labelled_circuit_from_aig(&aig, 4_096, i as u64)?);
-    }
-    let mut model = DeepGate::new(DeepGateConfig {
-        hidden_dim: 32,
-        num_iterations: 4,
-        ..DeepGateConfig::default()
-    });
-    let mut trainer = Trainer::new(TrainerConfig {
-        epochs: 15,
-        learning_rate: 3e-3,
-        ..TrainerConfig::default()
-    });
-    let inner = model.model().clone();
-    trainer.train(&inner, model.store_mut(), &train, &[]);
+    ]))?;
 
-    // Screen a (scaled-down) processor datapath the model never saw.
-    let design = LargeDesign::Processor80386.generate(0.1);
-    let aig = Aig::from_netlist(&design)?;
-    let circuit = labelled_circuit_from_aig(&aig, 8_192, 77)?;
-    let predictions = model.predict(&circuit);
-    let error = evaluate_prediction_error(&predictions, &circuit);
+    // Screen a (scaled-down) processor datapath the model never saw, served
+    // through a prepared inference session.
+    let screened = engine.prepare(&LargeDesignSource::new(LargeDesign::Processor80386, 0.1))?;
+    let session = engine.into_session();
+    let circuit = &screened[0];
+    let prepared = session.prepare(circuit.clone());
+    let mut predictions = Vec::new();
+    session.predict_into(&prepared, &mut predictions)?;
+    let error = evaluate_prediction_error(&predictions, circuit)?;
     println!(
         "screened `{}`: {} gates, prediction error vs simulation {:.4}",
-        design.name(),
+        circuit.name,
         circuit.num_gates(),
         error
     );

@@ -1,0 +1,364 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of serde's API surface the workspace uses, built around a
+//! concrete JSON-like [`Value`] tree instead of serde's visitor machinery:
+//!
+//! - [`Serialize`] / [`Deserialize`] traits (`T -> Value` / `&Value -> T`),
+//! - impls for the primitives and containers the workspace serialises,
+//! - re-exported `#[derive(Serialize, Deserialize)]` macros from the
+//!   sibling `serde_derive` shim.
+//!
+//! The `serde_json` shim renders [`Value`] to JSON text and parses it back.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A JSON-like value tree.
+///
+/// Integers are kept in dedicated variants so `u64`/`i64` round-trip
+/// exactly (JSON numbers above 2^53 would lose precision through `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with sorted keys (deterministic output).
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Borrows the object map if the value is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrows the array if the value is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialisation error: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn custom(msg: &str) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialises a value into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn serialize(&self) -> Value;
+}
+
+/// Reconstructs a value from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Converts a [`Value`] back into `Self`.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Derive-macro helper: looks up a struct field by name, treating a missing
+/// key as `null` (so `Option` fields tolerate omission).
+pub fn __field<T: Deserialize>(obj: &BTreeMap<String, Value>, name: &str) -> Result<T, DeError> {
+    match obj.get(name) {
+        Some(v) => T::deserialize(v),
+        None => {
+            T::deserialize(&Value::Null).map_err(|_| DeError(format!("missing field `{name}`")))
+        }
+    }
+}
+
+// ---------------------------------------------------------------- primitives
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::custom("expected bool")),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let raw: u64 = match v {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) if *i >= 0 => *i as u64,
+                    Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                        *f as u64
+                    }
+                    _ => return Err(DeError::custom("expected unsigned integer")),
+                };
+                <$t>::try_from(raw).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::UInt(v as u64)
+                } else {
+                    Value::Int(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let raw: i64 = match v {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) if *u <= i64::MAX as u64 => *u as i64,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i64,
+                    _ => return Err(DeError::custom("expected integer")),
+                };
+                <$t>::try_from(raw).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(u) => Ok(*u as f64),
+            Value::Int(i) => Ok(*i as f64),
+            _ => Err(DeError::custom("expected number")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// --------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(a) => a.iter().map(T::deserialize).collect(),
+            _ => Err(DeError::custom("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(a) if a.len() == 2 => Ok((A::deserialize(&a[0])?, B::deserialize(&a[1])?)),
+            _ => Err(DeError::custom("expected 2-element array")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(a) if a.len() == 3 => Ok((
+                A::deserialize(&a[0])?,
+                B::deserialize(&a[1])?,
+                C::deserialize(&a[2])?,
+            )),
+            _ => Err(DeError::custom("expected 3-element array")),
+        }
+    }
+}
+
+impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize, S> Serialize for HashMap<&str, V, S> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| V::deserialize(v).map(|v| (k.clone(), v)))
+                .collect(),
+            _ => Err(DeError::custom("expected object")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| V::deserialize(v).map(|v| (k.clone(), v)))
+                .collect(),
+            _ => Err(DeError::custom("expected object")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

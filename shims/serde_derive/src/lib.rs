@@ -1,0 +1,352 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this proc-macro
+//! crate re-implements the small subset of `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` the workspace actually uses:
+//!
+//! - structs with named fields (including private fields),
+//! - tuple structs (newtype and general),
+//! - enums with unit variants only,
+//! - the `#[serde(skip)]` and `#[serde(skip, default = "path")]` field
+//!   attributes.
+//!
+//! Generics, lifetimes, data-carrying enum variants and the rest of serde's
+//! attribute language are intentionally unsupported and fail loudly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+    default: Option<String>,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated code parses")
+}
+
+/// Derives the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated code parses")
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+    let kind = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                shape: Shape::Tuple(count_tuple_fields(g.stream())),
+            },
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::Enum(parse_unit_variants(g.stream())),
+            },
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde shim derive supports struct/enum, got `{other}`"),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1; // '#'
+        if matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+            *pos += 1;
+        }
+        *pos += 1; // the [...] group
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1; // pub(crate) / pub(super)
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("expected identifier, got {other:?}"),
+    }
+}
+
+/// Parses a `#[serde(...)]` attribute group into (skip, default) flags.
+fn parse_serde_attr(group: &proc_macro::Group) -> (bool, Option<String>) {
+    let mut skip = false;
+    let mut default = None;
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    // The group is `[serde(...)]`; find the inner parenthesised list.
+    let mut args: Vec<TokenTree> = Vec::new();
+    let mut is_serde = false;
+    for tok in &inner {
+        match tok {
+            TokenTree::Ident(i) if i.to_string() == "serde" => is_serde = true,
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis && is_serde => {
+                args = g.stream().into_iter().collect();
+            }
+            _ => {}
+        }
+    }
+    if !is_serde {
+        return (false, None);
+    }
+    let mut i = 0;
+    while i < args.len() {
+        match &args[i] {
+            TokenTree::Ident(id) if id.to_string() == "skip" => skip = true,
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                // default = "path"
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (args.get(i + 1), args.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let raw = lit.to_string();
+                        default = Some(raw.trim_matches('"').to_string());
+                        i += 2;
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (skip, default)
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        // Field attributes (possibly several, possibly #[serde(...)]).
+        let mut skip = false;
+        let mut default = None;
+        while matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                let (s, d) = parse_serde_attr(g);
+                skip |= s;
+                if d.is_some() {
+                    default = d;
+                }
+            }
+            pos += 1;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: consume until a top-level comma, tracking angle
+        // brackets (commas inside `<...>` separate type arguments, commas
+        // inside (), [] or {} are hidden inside their Group token).
+        let mut angle_depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma does not add a field.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_unit_variants(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            Some(TokenTree::Group(_)) => {
+                panic!("serde shim derive supports unit enum variants only (variant `{name}`)")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip `= <expr>` up to the comma.
+                pos += 1;
+                while pos < tokens.len()
+                    && !matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ',')
+                {
+                    pos += 1;
+                }
+                pos += 1;
+            }
+            other => panic!("unexpected token after variant `{name}`: {other:?}"),
+        }
+        variants.push(name);
+    }
+    variants
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut s = String::from("let mut __m = ::std::collections::BTreeMap::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "__m.insert(::std::string::String::from(\"{0}\"), ::serde::Serialize::serialize(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m)");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\""))
+                .collect();
+            format!(
+                "::serde::Value::Str(::std::string::String::from(match self {{ {} }}))",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n fn serialize(&self) -> ::serde::Value {{\n {body}\n }}\n}}\n"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut inits = Vec::new();
+            for f in fields {
+                if f.skip {
+                    match &f.default {
+                        Some(path) => inits.push(format!("{}: {path}()", f.name)),
+                        None => {
+                            inits.push(format!("{}: ::std::default::Default::default()", f.name))
+                        }
+                    }
+                } else {
+                    inits.push(format!("{0}: ::serde::__field(__obj, \"{0}\")?", f.name));
+                }
+            }
+            format!(
+                "let __obj = match __v {{ ::serde::Value::Object(m) => m, _ => return Err(::serde::DeError::custom(\"expected object for {name}\")) }};\nOk({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__a[{i}])?"))
+                .collect();
+            format!(
+                "let __a = match __v {{ ::serde::Value::Array(a) if a.len() == {n} => a, _ => return Err(::serde::DeError::custom(\"expected {n}-element array for {name}\")) }};\nOk({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v})"))
+                .collect();
+            format!(
+                "let __s = match __v {{ ::serde::Value::Str(s) => s.as_str(), _ => return Err(::serde::DeError::custom(\"expected string for {name}\")) }};\nmatch __s {{ {}, other => Err(::serde::DeError::custom(&format!(\"unknown {name} variant `{{other}}`\"))) }}",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n {body}\n }}\n}}\n"
+    )
+}

@@ -1,0 +1,380 @@
+//! The [`Engine`]: one coherent surface over dataset preparation, training,
+//! evaluation, checkpointing and inference.
+
+use crate::{CircuitSource, DeepGateError, InferenceSession};
+use deepgate_aig::{opt, Aig};
+use deepgate_core::{DeepGate, DeepGateConfig, Trainer, TrainerConfig, TrainingHistory};
+use deepgate_dataset::{labelled_circuit_from_aig, labelled_circuit_from_netlist};
+use deepgate_gnn::{CircuitGraph, FeatureEncoding, GnnError};
+use deepgate_nn::Tensor;
+use rayon::prelude::*;
+use std::path::Path;
+
+/// Labelling and transformation settings shared by every circuit the engine
+/// prepares.
+#[derive(Debug, Clone, Copy)]
+struct PipelineConfig {
+    num_patterns: usize,
+    label_seed: u64,
+    transform_to_aig: bool,
+    optimize: bool,
+    optimize_rounds: usize,
+}
+
+/// Builder for an [`Engine`].
+///
+/// ```rust
+/// use deepgate::{Engine, EngineBuilder};
+/// use deepgate::core::DeepGateConfig;
+///
+/// let engine = Engine::builder()
+///     .model(DeepGateConfig { hidden_dim: 16, num_iterations: 2, ..DeepGateConfig::default() })
+///     .num_patterns(1024)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(engine.model_config().hidden_dim, 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    model: DeepGateConfig,
+    trainer: TrainerConfig,
+    pipeline: PipelineConfig,
+    checkpoint_json: Option<String>,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            model: DeepGateConfig::default(),
+            trainer: TrainerConfig::default(),
+            pipeline: PipelineConfig {
+                num_patterns: 8_192,
+                label_seed: 7,
+                transform_to_aig: true,
+                optimize: true,
+                optimize_rounds: 2,
+            },
+            checkpoint_json: None,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Creates a builder with the paper's defaults.
+    pub fn new() -> Self {
+        EngineBuilder::default()
+    }
+
+    /// Sets the model hyper-parameters (ignored when restoring from a
+    /// checkpoint, which carries its own configuration).
+    pub fn model(mut self, config: DeepGateConfig) -> Self {
+        self.model = config;
+        self
+    }
+
+    /// Sets the training hyper-parameters.
+    pub fn trainer(mut self, config: TrainerConfig) -> Self {
+        self.trainer = config;
+        self
+    }
+
+    /// Sets the number of random simulation patterns used to label every
+    /// circuit (default 8192).
+    pub fn num_patterns(mut self, patterns: usize) -> Self {
+        self.pipeline.num_patterns = patterns;
+        self
+    }
+
+    /// Sets the labelling seed (default 7).
+    pub fn label_seed(mut self, seed: u64) -> Self {
+        self.pipeline.label_seed = seed;
+        self
+    }
+
+    /// Selects whether circuits are normalised to AIG form before learning
+    /// (default `true`, the DeepGate flow; `false` reproduces the Table IV
+    /// ablation on raw gate types).
+    pub fn transform_to_aig(mut self, transform: bool) -> Self {
+        self.pipeline.transform_to_aig = transform;
+        self
+    }
+
+    /// Enables or disables the AIG optimisation passes (default enabled).
+    pub fn optimize_aig(mut self, optimize: bool) -> Self {
+        self.pipeline.optimize = optimize;
+        self
+    }
+
+    /// Restores model weights and configuration from a checkpoint produced
+    /// by [`Engine::checkpoint_json`].
+    pub fn from_checkpoint_json(mut self, json: impl Into<String>) -> Self {
+        self.checkpoint_json = Some(json.into());
+        self
+    }
+
+    /// Restores model weights and configuration from a checkpoint file
+    /// written by [`Engine::save_checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepGateError::Io`] if the file cannot be read.
+    pub fn from_checkpoint_file(self, path: impl AsRef<Path>) -> Result<Self, DeepGateError> {
+        let path = path.as_ref();
+        let json = std::fs::read_to_string(path).map_err(|e| DeepGateError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        Ok(self.from_checkpoint_json(json))
+    }
+
+    /// Validates the configuration and constructs the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepGateError::Config`] for inconsistent settings and
+    /// [`DeepGateError::Nn`] for malformed checkpoints.
+    pub fn build(self) -> Result<Engine, DeepGateError> {
+        if self.pipeline.num_patterns == 0 {
+            return Err(DeepGateError::Config(
+                "num_patterns must be at least 1".to_string(),
+            ));
+        }
+        let expected_dim = if self.pipeline.transform_to_aig {
+            FeatureEncoding::AigGates.dimension()
+        } else {
+            FeatureEncoding::AllGates.dimension()
+        };
+        let model = match self.checkpoint_json {
+            Some(json) => {
+                let model = DeepGate::from_checkpoint(&json)?;
+                if model.config().feature_dim != expected_dim {
+                    return Err(DeepGateError::Config(format!(
+                        "checkpoint feature_dim {} does not match the {} pipeline (expected {expected_dim})",
+                        model.config().feature_dim,
+                        if self.pipeline.transform_to_aig {
+                            "AIG"
+                        } else {
+                            "raw-netlist"
+                        },
+                    )));
+                }
+                model
+            }
+            None => {
+                if self.model.hidden_dim == 0 {
+                    return Err(DeepGateError::Config(
+                        "hidden_dim must be at least 1".to_string(),
+                    ));
+                }
+                if self.model.num_iterations == 0 {
+                    return Err(DeepGateError::Config(
+                        "num_iterations must be at least 1".to_string(),
+                    ));
+                }
+                if self.model.feature_dim != expected_dim {
+                    return Err(DeepGateError::Config(format!(
+                        "feature_dim {} does not match the {} pipeline (expected {expected_dim})",
+                        self.model.feature_dim,
+                        if self.pipeline.transform_to_aig {
+                            "AIG"
+                        } else {
+                            "raw-netlist"
+                        },
+                    )));
+                }
+                DeepGate::new(self.model)
+            }
+        };
+        Ok(Engine {
+            model,
+            trainer: self.trainer,
+            pipeline: self.pipeline,
+        })
+    }
+}
+
+/// The unified DeepGate engine: circuit ingestion, labelling, training,
+/// evaluation, checkpointing and inference behind one API.
+///
+/// Construct it with [`Engine::builder`]; feed it circuits through any
+/// [`CircuitSource`]; hand the trained model to an [`InferenceSession`] for
+/// batched serving.
+#[derive(Debug)]
+pub struct Engine {
+    model: DeepGate,
+    trainer: TrainerConfig,
+    pipeline: PipelineConfig,
+}
+
+impl Engine {
+    /// Starts building an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// The model hyper-parameters.
+    pub fn model_config(&self) -> DeepGateConfig {
+        self.model.config()
+    }
+
+    /// The training hyper-parameters.
+    pub fn trainer_config(&self) -> TrainerConfig {
+        self.trainer
+    }
+
+    /// The underlying model (weights included).
+    pub fn model(&self) -> &DeepGate {
+        &self.model
+    }
+
+    /// Ingests circuits from a source and prepares them for learning:
+    /// (optional) AIG transformation and optimisation, signal-probability
+    /// labelling by logic simulation, and circuit-graph encoding. Circuits
+    /// are processed in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source, AIG and simulation errors as [`DeepGateError`].
+    pub fn prepare(&self, source: &dyn CircuitSource) -> Result<Vec<CircuitGraph>, DeepGateError> {
+        let netlists = source.netlists()?;
+        let pipeline = self.pipeline;
+        let graphs: Result<Vec<CircuitGraph>, DeepGateError> = netlists
+            .par_iter()
+            .enumerate()
+            .map(|(index, netlist)| {
+                let seed = pipeline.label_seed ^ ((index as u64 + 1) << 20);
+                if pipeline.transform_to_aig {
+                    let aig = Aig::from_netlist(netlist)?;
+                    let aig = if pipeline.optimize {
+                        opt::optimize(&aig, pipeline.optimize_rounds)
+                    } else {
+                        aig
+                    };
+                    Ok(labelled_circuit_from_aig(
+                        &aig,
+                        pipeline.num_patterns,
+                        seed,
+                    )?)
+                } else {
+                    Ok(labelled_circuit_from_netlist(
+                        netlist,
+                        FeatureEncoding::AllGates,
+                        pipeline.num_patterns,
+                        seed,
+                    )?)
+                }
+            })
+            .collect();
+        graphs
+    }
+
+    /// Trains the model on prepared circuits (fresh Adam state per call),
+    /// evaluating on `valid` per the trainer configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepGateError::Gnn`] for unlabelled or incompatible
+    /// circuits — both checked before any optimiser step runs, so the model
+    /// weights are untouched on error.
+    pub fn train(
+        &mut self,
+        train: &[CircuitGraph],
+        valid: &[CircuitGraph],
+    ) -> Result<TrainingHistory, DeepGateError> {
+        // The trainer pre-checks labels; the encoding check needs the model
+        // configuration, so it lives here — also before any step runs.
+        let expected = self.model.config().feature_dim;
+        for circuit in train.iter().chain(valid) {
+            let got = circuit.encoding.dimension();
+            if got != expected {
+                return Err(DeepGateError::Gnn(GnnError::EncodingMismatch {
+                    expected,
+                    got,
+                }));
+            }
+        }
+        let inner = self.model.model().clone();
+        let mut trainer = Trainer::new(self.trainer);
+        Ok(trainer.train(&inner, self.model.store_mut(), train, valid)?)
+    }
+
+    /// Convenience: [`Engine::prepare`] then [`Engine::train`] on everything
+    /// the source yields (no validation split).
+    ///
+    /// # Errors
+    ///
+    /// Propagates preparation and training errors.
+    pub fn fit(&mut self, source: &dyn CircuitSource) -> Result<TrainingHistory, DeepGateError> {
+        let circuits = self.prepare(source)?;
+        if circuits.is_empty() {
+            return Err(DeepGateError::EmptyBatch);
+        }
+        self.train(&circuits, &[])
+    }
+
+    /// Average prediction error (Eq. 8) over labelled circuits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepGateError::Gnn`] for unlabelled or incompatible
+    /// circuits.
+    pub fn evaluate(&self, circuits: &[CircuitGraph]) -> Result<f64, DeepGateError> {
+        Ok(self.model.evaluate(circuits)?)
+    }
+
+    /// Predicts per-node signal probabilities for one circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepGateError::Gnn`] if the circuit's feature encoding does
+    /// not match the model.
+    pub fn predict(&self, circuit: &CircuitGraph) -> Result<Vec<f32>, DeepGateError> {
+        Ok(self.model.try_predict(circuit)?)
+    }
+
+    /// Returns the learned per-gate embeddings `h_v^T` of a circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepGateError::Gnn`] if the circuit's feature encoding does
+    /// not match the model.
+    pub fn embeddings(&self, circuit: &CircuitGraph) -> Result<Tensor, DeepGateError> {
+        Ok(self.model.try_embeddings(circuit)?)
+    }
+
+    /// Serialises the model (configuration + weights) to a JSON checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepGateError::Nn`] if serialisation fails.
+    pub fn checkpoint_json(&self) -> Result<String, DeepGateError> {
+        Ok(self.model.to_checkpoint()?)
+    }
+
+    /// Writes the checkpoint to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepGateError::Nn`] for serialisation failures and
+    /// [`DeepGateError::Io`] for filesystem failures.
+    pub fn save_checkpoint(&self, path: impl AsRef<Path>) -> Result<(), DeepGateError> {
+        let path = path.as_ref();
+        let json = self.checkpoint_json()?;
+        std::fs::write(path, json).map_err(|e| DeepGateError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })
+    }
+
+    /// Opens an inference session over a clone of the current weights (the
+    /// engine stays available for further training).
+    pub fn session(&self) -> InferenceSession {
+        InferenceSession::new(self.model.clone())
+    }
+
+    /// Consumes the engine into an inference session without cloning the
+    /// weights.
+    pub fn into_session(self) -> InferenceSession {
+        InferenceSession::new(self.model)
+    }
+}

@@ -1,38 +1,68 @@
 //! # DeepGate (reproduction)
 //!
 //! A from-scratch Rust reproduction of *DeepGate: Learning Neural
-//! Representations of Logic Gates* (Li et al., DAC 2022).
+//! Representations of Logic Gates* (Li et al., DAC 2022), redesigned around
+//! a single serving-oriented API:
 //!
-//! This facade crate re-exports the individual workspace crates so that a
-//! downstream user can depend on a single `deepgate` crate:
-//!
-//! - [`netlist`] — gate-level netlist IR, BENCH parser/writer, circuit generators.
-//! - [`aig`] — And-Inverter Graphs, netlist→AIG mapping, optimisation passes,
-//!   reconvergence analysis (the logic-synthesis substrate).
-//! - [`sim`] — bit-parallel logic simulation and signal-probability labelling.
-//! - [`nn`] — minimal tensor / reverse-mode autodiff substrate with GRU, MLP,
-//!   attention primitives and the Adam optimiser.
-//! - [`gnn`] — DAG-GNN framework: circuit-graph encoding, topological batching,
-//!   aggregators, and the baseline model zoo (GCN, DAG-ConvGNN, DAG-RecGNN).
-//! - [`core`] — the DeepGate model, trainer and evaluation metrics.
-//! - [`dataset`] — benchmark-suite generators, sub-circuit extraction and the
-//!   labelled dataset pipeline.
+//! - [`Engine`] / [`EngineBuilder`] — one coherent surface over circuit
+//!   ingestion, AIG transformation, simulation labelling, training,
+//!   evaluation and checkpointing.
+//! - [`CircuitSource`] — one trait unifying every input format: BENCH
+//!   text/files ([`BenchText`], [`BenchFile`]), structural Verilog
+//!   ([`VerilogText`], [`VerilogFile`]), in-memory netlists
+//!   ([`NetlistSource`]) and the synthetic benchmark generators
+//!   ([`SuiteSource`], [`LargeDesignSource`]).
+//! - [`DeepGateError`] — one crate-spanning error enum; every public entry
+//!   point returns `Result`, never panics on user input.
+//! - [`InferenceSession`] — the batched serving hot path:
+//!   [`InferenceSession::predict_batch`] fans a batch of circuits across
+//!   worker threads and reuses per-circuit edge plans and output buffers.
 //!
 //! ## Quickstart
 //!
 //! ```rust
 //! use deepgate::prelude::*;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // Generate a small circuit, map it to an AIG and label it with
-//! // logic-simulated signal probabilities.
-//! let netlist = deepgate::dataset::generators::ripple_carry_adder(8);
-//! let aig = Aig::from_netlist(&netlist)?;
-//! let labels = SignalProbability::simulate(&aig, 4096, 7)?;
-//! assert_eq!(labels.len(), aig.len());
-//! # Ok(())
-//! # }
+//! fn main() -> Result<(), DeepGateError> {
+//!     // A full adder in the BENCH interchange format.
+//!     let bench = "\
+//!         INPUT(a)\nINPUT(b)\nINPUT(cin)\n\
+//!         OUTPUT(sum)\nOUTPUT(cout)\n\
+//!         x = XOR(a, b)\nsum = XOR(x, cin)\n\
+//!         g1 = AND(a, b)\ng2 = AND(x, cin)\ncout = OR(g1, g2)\n";
+//!
+//!     // Build an engine (small configuration so this doctest is quick) and
+//!     // prepare the circuit: AIG mapping + simulated probability labels.
+//!     let mut engine = Engine::builder()
+//!         .model(DeepGateConfig { hidden_dim: 8, num_iterations: 2,
+//!                                 regressor_hidden: 4, ..DeepGateConfig::default() })
+//!         .trainer(TrainerConfig { epochs: 2, ..TrainerConfig::default() })
+//!         .num_patterns(512)
+//!         .build()?;
+//!     let circuits = engine.prepare(&BenchText::new("full_adder", bench))?;
+//!
+//!     // Train briefly, then serve predictions through a batched session.
+//!     engine.train(&circuits, &[])?;
+//!     let session = engine.session();
+//!     let batch = session.predict_batch(&circuits)?;
+//!     assert_eq!(batch[0].len(), circuits[0].num_nodes);
+//!     Ok(())
+//! }
 //! ```
+//!
+//! ## Layering
+//!
+//! The engine composes the individual workspace crates, all re-exported for
+//! direct access:
+//!
+//! - [`netlist`] — gate-level netlist IR, BENCH/Verilog parsers, generators.
+//! - [`aig`] — And-Inverter Graphs, netlist→AIG mapping, optimisation
+//!   passes, reconvergence analysis (the logic-synthesis substrate).
+//! - [`sim`] — bit-parallel logic simulation and probability labelling.
+//! - [`nn`] — minimal tensor / reverse-mode autodiff substrate.
+//! - [`gnn`] — DAG-GNN framework and the baseline model zoo.
+//! - [`core`] — the DeepGate model, trainer and evaluation metrics.
+//! - [`dataset`] — benchmark-suite generators and the dataset pipeline.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -44,12 +74,30 @@ pub use deepgate_netlist as netlist;
 pub use deepgate_nn as nn;
 pub use deepgate_sim as sim;
 
+mod engine;
+mod error;
+mod session;
+mod source;
+
+pub use engine::{Engine, EngineBuilder};
+pub use error::DeepGateError;
+pub use session::{InferenceSession, PreparedCircuit};
+pub use source::{
+    BenchFile, BenchText, CircuitSource, LargeDesignSource, NetlistSource, SuiteSource,
+    VerilogFile, VerilogText,
+};
+
 /// Commonly used types, re-exported for convenient glob import.
 pub mod prelude {
+    pub use crate::{
+        BenchFile, BenchText, CircuitSource, DeepGateError, Engine, EngineBuilder,
+        InferenceSession, LargeDesignSource, NetlistSource, PreparedCircuit, SuiteSource,
+        VerilogFile, VerilogText,
+    };
     pub use deepgate_aig::{Aig, AigLit, AigNodeKind};
     pub use deepgate_core::{DeepGate, DeepGateConfig, Trainer, TrainerConfig};
     pub use deepgate_dataset::{Dataset, DatasetConfig, SuiteKind};
-    pub use deepgate_gnn::{Aggregator, CircuitGraph, DagRecGnn, Gcn};
+    pub use deepgate_gnn::{Aggregator, CircuitGraph, DagRecGnn, Gcn, GnnError};
     pub use deepgate_netlist::{GateKind, Netlist, NodeId};
     pub use deepgate_nn::{Graph, Tensor};
     pub use deepgate_sim::SignalProbability;

@@ -1,0 +1,291 @@
+//! [`CircuitSource`] — one trait unifying every way circuits enter the
+//! system: BENCH text/files, structural Verilog, in-memory netlists and the
+//! synthetic benchmark-suite generators.
+
+use crate::DeepGateError;
+use deepgate_dataset::{LargeDesign, SuiteKind};
+use deepgate_netlist::Netlist;
+use std::path::{Path, PathBuf};
+
+/// A supplier of gate-level circuits for the [`crate::Engine`].
+///
+/// Implementations cover the interchange formats of the paper's benchmark
+/// suites ([`BenchText`], [`BenchFile`], [`VerilogText`], [`VerilogFile`]),
+/// in-memory netlists ([`NetlistSource`]) and the synthetic generators
+/// ([`SuiteSource`], [`LargeDesignSource`]). A source yields whole netlists;
+/// the engine owns the downstream AIG transformation, labelling and graph
+/// encoding, so every input format flows through one pipeline.
+pub trait CircuitSource {
+    /// A short human-readable description, used in diagnostics.
+    fn describe(&self) -> String;
+
+    /// Produces the circuits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeepGateError`] if reading or parsing fails.
+    fn netlists(&self) -> Result<Vec<Netlist>, DeepGateError>;
+}
+
+/// BENCH-format circuit text held in memory.
+pub struct BenchText {
+    name: String,
+    text: String,
+}
+
+impl BenchText {
+    /// Wraps BENCH text under a design name.
+    pub fn new(name: impl Into<String>, text: impl Into<String>) -> Self {
+        BenchText {
+            name: name.into(),
+            text: text.into(),
+        }
+    }
+}
+
+impl CircuitSource for BenchText {
+    fn describe(&self) -> String {
+        format!("bench:{}", self.name)
+    }
+
+    fn netlists(&self) -> Result<Vec<Netlist>, DeepGateError> {
+        Ok(vec![deepgate_netlist::bench::parse(
+            &self.text,
+            self.name.clone(),
+        )?])
+    }
+}
+
+/// A BENCH file on disk.
+pub struct BenchFile {
+    path: PathBuf,
+}
+
+impl BenchFile {
+    /// References a BENCH file by path.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        BenchFile { path: path.into() }
+    }
+}
+
+impl CircuitSource for BenchFile {
+    fn describe(&self) -> String {
+        format!("bench-file:{}", self.path.display())
+    }
+
+    fn netlists(&self) -> Result<Vec<Netlist>, DeepGateError> {
+        let text = read_file(&self.path)?;
+        let name = self
+            .path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "bench".to_string());
+        Ok(vec![deepgate_netlist::bench::parse(&text, name)?])
+    }
+}
+
+/// Structural gate-level Verilog text held in memory.
+pub struct VerilogText {
+    text: String,
+}
+
+impl VerilogText {
+    /// Wraps Verilog text (the module name becomes the design name).
+    pub fn new(text: impl Into<String>) -> Self {
+        VerilogText { text: text.into() }
+    }
+}
+
+impl CircuitSource for VerilogText {
+    fn describe(&self) -> String {
+        "verilog".to_string()
+    }
+
+    fn netlists(&self) -> Result<Vec<Netlist>, DeepGateError> {
+        Ok(vec![deepgate_netlist::verilog::parse(&self.text)?])
+    }
+}
+
+/// A structural Verilog file on disk.
+pub struct VerilogFile {
+    path: PathBuf,
+}
+
+impl VerilogFile {
+    /// References a Verilog file by path.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        VerilogFile { path: path.into() }
+    }
+}
+
+impl CircuitSource for VerilogFile {
+    fn describe(&self) -> String {
+        format!("verilog-file:{}", self.path.display())
+    }
+
+    fn netlists(&self) -> Result<Vec<Netlist>, DeepGateError> {
+        let text = read_file(&self.path)?;
+        Ok(vec![deepgate_netlist::verilog::parse(&text)?])
+    }
+}
+
+/// In-memory netlists, passed through unchanged.
+pub struct NetlistSource {
+    netlists: Vec<Netlist>,
+}
+
+impl NetlistSource {
+    /// Wraps already-built netlists.
+    pub fn new(netlists: Vec<Netlist>) -> Self {
+        NetlistSource { netlists }
+    }
+}
+
+impl From<Netlist> for NetlistSource {
+    fn from(netlist: Netlist) -> Self {
+        NetlistSource {
+            netlists: vec![netlist],
+        }
+    }
+}
+
+impl From<Vec<Netlist>> for NetlistSource {
+    fn from(netlists: Vec<Netlist>) -> Self {
+        NetlistSource { netlists }
+    }
+}
+
+impl CircuitSource for NetlistSource {
+    fn describe(&self) -> String {
+        format!("netlists:{}", self.netlists.len())
+    }
+
+    fn netlists(&self) -> Result<Vec<Netlist>, DeepGateError> {
+        Ok(self.netlists.clone())
+    }
+}
+
+/// Synthetic designs drawn from one of the paper's benchmark-suite
+/// stand-ins (ITC'99 / IWLS'05 / EPFL / OpenCores).
+pub struct SuiteSource {
+    suite: SuiteKind,
+    count: usize,
+    seed: u64,
+    size_scale: f64,
+}
+
+impl SuiteSource {
+    /// Generates `count` designs from `suite`.
+    pub fn new(suite: SuiteKind, count: usize) -> Self {
+        SuiteSource {
+            suite,
+            count,
+            seed: 42,
+            size_scale: 0.25,
+        }
+    }
+
+    /// Sets the generation seed (default 42).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the size scale factor in `(0, 1]` (default 0.25; 1.0 targets the
+    /// paper's size ranges).
+    pub fn size_scale(mut self, scale: f64) -> Self {
+        self.size_scale = scale;
+        self
+    }
+}
+
+impl CircuitSource for SuiteSource {
+    fn describe(&self) -> String {
+        format!("suite:{:?}x{}", self.suite, self.count)
+    }
+
+    fn netlists(&self) -> Result<Vec<Netlist>, DeepGateError> {
+        Ok((0..self.count)
+            .map(|index| {
+                self.suite
+                    .generate_design(index, self.seed, self.size_scale)
+            })
+            .collect())
+    }
+}
+
+/// One of the five large evaluation designs of Table III.
+pub struct LargeDesignSource {
+    design: LargeDesign,
+    scale: f64,
+}
+
+impl LargeDesignSource {
+    /// Generates `design` at a size `scale` in `(0, 1]`.
+    pub fn new(design: LargeDesign, scale: f64) -> Self {
+        LargeDesignSource { design, scale }
+    }
+}
+
+impl CircuitSource for LargeDesignSource {
+    fn describe(&self) -> String {
+        format!("large:{:?}", self.design)
+    }
+
+    fn netlists(&self) -> Result<Vec<Netlist>, DeepGateError> {
+        Ok(vec![self.design.generate(self.scale)])
+    }
+}
+
+fn read_file(path: &Path) -> Result<String, DeepGateError> {
+    std::fs::read_to_string(path).map_err(|e| DeepGateError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AND2: &str = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n";
+
+    #[test]
+    fn bench_text_parses() {
+        let source = BenchText::new("and2", AND2);
+        let netlists = source.netlists().unwrap();
+        assert_eq!(netlists.len(), 1);
+        assert_eq!(netlists[0].num_inputs(), 2);
+        assert!(source.describe().contains("and2"));
+    }
+
+    #[test]
+    fn bench_text_parse_error_maps_to_netlist_variant() {
+        let source = BenchText::new("bad", "y = AND(a, b)\n");
+        assert!(matches!(source.netlists(), Err(DeepGateError::Netlist(_))));
+    }
+
+    #[test]
+    fn missing_file_maps_to_io_variant() {
+        let source = BenchFile::new("/nonexistent/never.bench");
+        assert!(matches!(source.netlists(), Err(DeepGateError::Io { .. })));
+        let source = VerilogFile::new("/nonexistent/never.v");
+        assert!(matches!(source.netlists(), Err(DeepGateError::Io { .. })));
+    }
+
+    #[test]
+    fn suite_source_generates_requested_count() {
+        let source = SuiteSource::new(SuiteKind::Epfl, 3).seed(7).size_scale(0.1);
+        let netlists = source.netlists().unwrap();
+        assert_eq!(netlists.len(), 3);
+        assert!(netlists.iter().all(|n| n.num_gates() > 0));
+    }
+
+    #[test]
+    fn netlist_source_passes_through() {
+        let netlist = deepgate_dataset::generators::parity_tree(4);
+        let source: NetlistSource = netlist.clone().into();
+        let out = source.netlists().unwrap();
+        assert_eq!(out[0].num_gates(), netlist.num_gates());
+    }
+}

@@ -1,24 +1,42 @@
-//! Integration tests spanning the whole workspace: netlist front-end →
-//! AIG transformation → simulation labelling → circuit-graph encoding →
-//! DeepGate training and inference.
+//! Integration tests spanning the whole workspace through the unified
+//! facade: netlist front-end → AIG transformation → simulation labelling →
+//! circuit-graph encoding → Engine training → InferenceSession serving.
 
-use deepgate::aig::{opt, Aig};
-use deepgate::core::{DeepGate, DeepGateConfig, Trainer, TrainerConfig};
-use deepgate::dataset::{
-    generators, labelled_circuit_from_aig, Dataset, DatasetConfig, LargeDesign, SuiteKind,
-};
-use deepgate::gnn::{evaluate_prediction_error, CircuitGraph, FeatureEncoding};
+use deepgate::dataset::{generators, Dataset, DatasetConfig, LargeDesign, SuiteKind};
+use deepgate::gnn::{CircuitGraph, FeatureEncoding};
 use deepgate::netlist::bench;
-use deepgate::sim::SignalProbability;
+use deepgate::prelude::*;
+
+/// A small engine configuration every test can afford.
+fn quick_engine() -> Engine {
+    Engine::builder()
+        .model(DeepGateConfig {
+            hidden_dim: 16,
+            num_iterations: 2,
+            regressor_hidden: 8,
+            ..DeepGateConfig::default()
+        })
+        .trainer(TrainerConfig {
+            epochs: 10,
+            learning_rate: 3e-3,
+            ..TrainerConfig::default()
+        })
+        .num_patterns(2_048)
+        .build()
+        .expect("valid quick configuration")
+}
 
 #[test]
 fn bench_roundtrip_preserves_signal_probabilities() {
-    // Write a generated circuit to BENCH text, parse it back and check that
-    // the simulated probabilities agree — the parser, writer and simulator
-    // must be mutually consistent.
+    // Write a generated circuit to BENCH text, parse it back through the
+    // CircuitSource layer and check that the simulated probabilities agree —
+    // the parser, writer and simulator must be mutually consistent.
     let original = generators::alu(4);
     let text = bench::write(&original);
-    let parsed = bench::parse(&text, "alu4").expect("round-trip parse");
+    let parsed = BenchText::new("alu4", text)
+        .netlists()
+        .expect("round-trip parse")
+        .remove(0);
     let p_original = SignalProbability::simulate_netlist(&original, 8192, 5).unwrap();
     let p_parsed = SignalProbability::simulate_netlist(&parsed, 8192, 5).unwrap();
     // Compare per-output probabilities by name.
@@ -39,6 +57,7 @@ fn bench_roundtrip_preserves_signal_probabilities() {
 fn aig_transformation_preserves_output_probabilities() {
     // The logic-synthesis substitute must preserve functionality: output
     // signal probabilities before and after AIG mapping + optimisation agree.
+    use deepgate::aig::opt;
     for netlist in [
         generators::comparator(5),
         generators::counter_next_state(6),
@@ -52,7 +71,11 @@ fn aig_transformation_preserves_output_probabilities() {
             let (orig_id, _) = netlist.outputs()[k];
             let expected = p_netlist.of(orig_id.index());
             let raw = p_aig.of(lit.node());
-            let got = if lit.is_complemented() { 1.0 - raw } else { raw };
+            let got = if lit.is_complemented() {
+                1.0 - raw
+            } else {
+                raw
+            };
             assert!(
                 (expected - got).abs() < 0.03,
                 "{}: output {name} {expected} vs {got}",
@@ -63,27 +86,32 @@ fn aig_transformation_preserves_output_probabilities() {
 }
 
 #[test]
-fn deepgate_overfits_a_single_circuit() {
-    // Sanity check of the full learning stack: DeepGate must be able to fit
-    // the probabilities of one small circuit almost exactly.
-    let aig = Aig::from_netlist(&generators::alu(4)).unwrap();
-    let circuit = labelled_circuit_from_aig(&aig, 8_192, 3).unwrap();
-    let mut model = DeepGate::new(DeepGateConfig {
-        hidden_dim: 24,
-        num_iterations: 3,
-        regressor_hidden: 16,
-        ..DeepGateConfig::default()
-    });
-    let before = evaluate_prediction_error(&model.predict(&circuit), &circuit);
-    let mut trainer = Trainer::new(TrainerConfig {
-        epochs: 40,
-        learning_rate: 5e-3,
-        eval_every: 0,
-        ..TrainerConfig::default()
-    });
-    let inner = model.model().clone();
-    trainer.train(&inner, model.store_mut(), &[circuit.clone()], &[]);
-    let after = evaluate_prediction_error(&model.predict(&circuit), &circuit);
+fn engine_overfits_a_single_circuit() {
+    // Sanity check of the full learning stack: the engine must be able to
+    // fit the probabilities of one small circuit almost exactly.
+    let mut engine = Engine::builder()
+        .model(DeepGateConfig {
+            hidden_dim: 24,
+            num_iterations: 3,
+            regressor_hidden: 16,
+            ..DeepGateConfig::default()
+        })
+        .trainer(TrainerConfig {
+            epochs: 40,
+            learning_rate: 5e-3,
+            eval_every: 0,
+            ..TrainerConfig::default()
+        })
+        .num_patterns(8_192)
+        .label_seed(3)
+        .build()
+        .unwrap();
+    let circuits = engine
+        .prepare(&NetlistSource::from(generators::alu(4)))
+        .unwrap();
+    let before = engine.evaluate(&circuits).unwrap();
+    engine.train(&circuits, &[]).unwrap();
+    let after = engine.evaluate(&circuits).unwrap();
     assert!(
         after < before * 0.5 && after < 0.1,
         "did not overfit: {before:.4} -> {after:.4}"
@@ -91,7 +119,7 @@ fn deepgate_overfits_a_single_circuit() {
 }
 
 #[test]
-fn dataset_pipeline_feeds_training_end_to_end() {
+fn dataset_pipeline_feeds_engine_training_end_to_end() {
     let config = DatasetConfig {
         suites: vec![SuiteKind::Epfl, SuiteKind::Itc99],
         designs_per_suite: 4,
@@ -101,83 +129,82 @@ fn dataset_pipeline_feeds_training_end_to_end() {
     };
     let dataset = Dataset::generate(&config).unwrap();
     assert_eq!(dataset.len(), 8);
-    let mut model = DeepGate::new(DeepGateConfig {
-        hidden_dim: 16,
-        num_iterations: 2,
-        regressor_hidden: 8,
-        ..DeepGateConfig::default()
-    });
-    let mut trainer = Trainer::new(TrainerConfig {
-        epochs: 3,
-        learning_rate: 3e-3,
-        ..TrainerConfig::default()
-    });
-    let inner = model.model().clone();
-    let history = trainer.train(&inner, model.store_mut(), &dataset.train, &dataset.test);
-    assert_eq!(history.epochs.len(), 3);
+    let mut engine = quick_engine();
+    let history = engine.train(&dataset.train, &dataset.test).unwrap();
+    assert_eq!(history.epochs.len(), 10);
     assert!(history.best_valid_error().is_some());
 }
 
 #[test]
-fn checkpointed_model_generalises_to_unseen_design() {
-    // Train on tiny circuits, checkpoint, reload and evaluate on a reduced
-    // large design — exercises Table III's inference path end to end.
-    let train: Vec<CircuitGraph> = [
-        generators::ripple_carry_adder(4),
-        generators::parity_tree(8),
-        generators::priority_arbiter(6),
-    ]
-    .iter()
-    .enumerate()
-    .map(|(i, n)| {
-        let aig = Aig::from_netlist(n).unwrap();
-        labelled_circuit_from_aig(&aig, 2_048, i as u64).unwrap()
-    })
-    .collect();
-    let mut model = DeepGate::new(DeepGateConfig {
-        hidden_dim: 16,
-        num_iterations: 2,
-        regressor_hidden: 8,
-        ..DeepGateConfig::default()
-    });
-    let mut trainer = Trainer::new(TrainerConfig {
-        epochs: 10,
-        learning_rate: 3e-3,
-        ..TrainerConfig::default()
-    });
-    let inner = model.model().clone();
-    trainer.train(&inner, model.store_mut(), &train, &[]);
+fn checkpointed_engine_generalises_to_unseen_design() {
+    // Train on tiny circuits, checkpoint through a file, reload into a new
+    // engine and serve a reduced large design — Table III's inference path
+    // exercised end to end through the facade.
+    let mut engine = quick_engine();
+    engine
+        .fit(&NetlistSource::new(vec![
+            generators::ripple_carry_adder(4),
+            generators::parity_tree(8),
+            generators::priority_arbiter(6),
+        ]))
+        .unwrap();
 
-    let checkpoint = model.to_checkpoint().unwrap();
-    let restored = DeepGate::from_checkpoint(&checkpoint).unwrap();
+    let dir = std::env::temp_dir().join("deepgate_engine_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("checkpoint.json");
+    engine.save_checkpoint(&path).unwrap();
+    let restored = Engine::builder()
+        .from_checkpoint_file(&path)
+        .unwrap()
+        .build()
+        .unwrap();
 
-    let large = LargeDesign::Arbiter.generate(0.05);
-    let aig = Aig::from_netlist(&large).unwrap();
-    let circuit = labelled_circuit_from_aig(&aig, 2_048, 31).unwrap();
-    let original_error = evaluate_prediction_error(&model.predict(&circuit), &circuit);
-    let restored_error = evaluate_prediction_error(&restored.predict(&circuit), &circuit);
+    let large = engine
+        .prepare(&LargeDesignSource::new(LargeDesign::Arbiter, 0.05))
+        .unwrap();
+    let original_error = engine.evaluate(&large).unwrap();
+    let restored_error = restored.evaluate(&large).unwrap();
     assert!((original_error - restored_error).abs() < 1e-6);
     // An error of 0.5 would mean the model is no better than predicting the
     // complement; even a briefly trained model should do clearly better.
     assert!(restored_error < 0.45, "error {restored_error}");
+
+    // The restored engine serves the same predictions through a session.
+    let session = restored.into_session();
+    let batch = session.predict_batch(&large).unwrap();
+    assert_eq!(batch.len(), large.len());
+    assert_eq!(batch[0].len(), large[0].num_nodes);
 }
 
 #[test]
 fn untransformed_and_transformed_graphs_share_the_pipeline() {
     // The Table IV ablation uses both encodings; both must flow through the
-    // same simulation and graph-construction code.
-    let netlist = generators::counter_next_state(5);
-    let p = SignalProbability::simulate_netlist(&netlist, 4_096, 3).unwrap();
-    let labels: Vec<f32> = p.values().iter().map(|&v| v as f32).collect();
-    let raw = CircuitGraph::from_netlist(&netlist, FeatureEncoding::AllGates, Some(labels));
-    assert_eq!(raw.features.cols(), 12);
+    // same engine pipeline, selected by one builder switch.
+    let raw_engine = Engine::builder()
+        .model(DeepGateConfig {
+            hidden_dim: 8,
+            num_iterations: 1,
+            regressor_hidden: 4,
+            feature_dim: FeatureEncoding::AllGates.dimension(),
+            ..DeepGateConfig::default()
+        })
+        .transform_to_aig(false)
+        .num_patterns(4_096)
+        .label_seed(3)
+        .build()
+        .unwrap();
+    let source = NetlistSource::from(generators::counter_next_state(5));
+    let raw: Vec<CircuitGraph> = raw_engine.prepare(&source).unwrap();
+    assert_eq!(
+        raw[0].features.cols(),
+        FeatureEncoding::AllGates.dimension()
+    );
 
-    let aig = Aig::from_netlist(&netlist).unwrap();
-    let transformed = labelled_circuit_from_aig(&aig, 4_096, 3).unwrap();
-    assert_eq!(transformed.features.cols(), 3);
-    // The AIG expansion only has PI/AND/NOT nodes, so every gate's label is
-    // still a probability in [0, 1].
-    for graph in [&raw, &transformed] {
+    let aig_engine = quick_engine();
+    let transformed = aig_engine.prepare(&source).unwrap();
+    assert_eq!(transformed[0].features.cols(), 3);
+    // Both prepared variants carry simulated probabilities for every node.
+    for graph in [&raw[0], &transformed[0]] {
         assert!(graph
             .labels
             .as_ref()

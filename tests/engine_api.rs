@@ -1,0 +1,354 @@
+//! Tests of the unified Engine facade: CircuitSource ingestion, Result-based
+//! error reporting (no panics on user input) and the batched
+//! InferenceSession serving path.
+
+use deepgate::dataset::generators;
+use deepgate::gnn::FeatureEncoding;
+use deepgate::prelude::*;
+
+const FULL_ADDER: &str = "\
+INPUT(a)
+INPUT(b)
+INPUT(cin)
+OUTPUT(sum)
+OUTPUT(cout)
+x = XOR(a, b)
+sum = XOR(x, cin)
+g1 = AND(a, b)
+g2 = AND(x, cin)
+cout = OR(g1, g2)
+";
+
+/// A tiny netlist inside the PI/AND/NOT alphabet the AIG encoding accepts.
+fn and_only_netlist() -> Netlist {
+    let mut n = Netlist::new("and_chain");
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let c = n.add_input("c");
+    let g1 = n.add_gate(GateKind::And, &[a, b]).unwrap();
+    let g2 = n.add_gate(GateKind::And, &[g1, c]).unwrap();
+    n.mark_output(g2, "y");
+    n
+}
+
+fn quick_engine() -> Engine {
+    Engine::builder()
+        .model(DeepGateConfig {
+            hidden_dim: 12,
+            num_iterations: 2,
+            regressor_hidden: 8,
+            ..DeepGateConfig::default()
+        })
+        .trainer(TrainerConfig {
+            epochs: 5,
+            learning_rate: 3e-3,
+            ..TrainerConfig::default()
+        })
+        .num_patterns(1_024)
+        .build()
+        .expect("valid configuration")
+}
+
+#[test]
+fn bench_text_to_predict_batch_end_to_end() {
+    // BENCH string → Engine::prepare → train → InferenceSession::predict_batch.
+    let mut engine = quick_engine();
+    let circuits = engine
+        .prepare(&BenchText::new("full_adder", FULL_ADDER))
+        .unwrap();
+    assert_eq!(circuits.len(), 1);
+    assert!(circuits[0].labels.is_some());
+    engine.train(&circuits, &[]).unwrap();
+
+    let session = engine.session();
+    let batch = session.predict_batch(&circuits).unwrap();
+    assert_eq!(batch.len(), 1);
+    assert_eq!(batch[0].len(), circuits[0].num_nodes);
+    assert!(batch[0].iter().all(|&p| (0.0..=1.0).contains(&p)));
+
+    // Batched predictions agree with the single-circuit path.
+    let single = session.predict(&circuits[0]).unwrap();
+    for (a, b) in single.iter().zip(&batch[0]) {
+        assert!((a - b).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn verilog_source_flows_through_the_same_pipeline() {
+    let netlist = generators::comparator(3);
+    let verilog = deepgate::netlist::verilog::write(&netlist);
+    let engine = quick_engine();
+    let circuits = engine.prepare(&VerilogText::new(verilog)).unwrap();
+    assert_eq!(circuits.len(), 1);
+    assert_eq!(circuits[0].encoding, FeatureEncoding::AigGates);
+    assert!(circuits[0].labels.is_some());
+}
+
+#[test]
+fn suite_source_feeds_fit() {
+    let mut engine = quick_engine();
+    let history = engine
+        .fit(&SuiteSource::new(SuiteKind::Epfl, 2).seed(5).size_scale(0.1))
+        .unwrap();
+    assert_eq!(history.epochs.len(), 5);
+}
+
+#[test]
+fn training_on_unlabelled_circuits_is_an_error_not_a_panic() {
+    let netlist = and_only_netlist();
+    let unlabelled = CircuitGraph::from_netlist(&netlist, FeatureEncoding::AigGates, None);
+    let mut engine = quick_engine();
+    let err = engine
+        .train(std::slice::from_ref(&unlabelled), &[])
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        DeepGateError::Gnn(GnnError::UnlabelledCircuit { .. })
+    ));
+    let err = engine.evaluate(&[unlabelled]).unwrap_err();
+    assert!(matches!(
+        err,
+        DeepGateError::Gnn(GnnError::UnlabelledCircuit { .. })
+    ));
+}
+
+#[test]
+fn prediction_label_length_mismatch_is_an_error_not_a_panic() {
+    use deepgate::gnn::evaluate_prediction_error;
+    let engine = quick_engine();
+    let circuits = engine
+        .prepare(&BenchText::new("full_adder", FULL_ADDER))
+        .unwrap();
+    let too_short = vec![0.5f32; 2];
+    let err = evaluate_prediction_error(&too_short, &circuits[0]).unwrap_err();
+    assert!(matches!(err, GnnError::LengthMismatch { got: 2, .. }));
+}
+
+#[test]
+fn encoding_mismatch_is_an_error_not_a_panic() {
+    // An AIG-configured engine fed a 12-feature raw-netlist graph must
+    // refuse politely.
+    let netlist = generators::parity_tree(4);
+    let mut wrong = CircuitGraph::from_netlist(&netlist, FeatureEncoding::AllGates, None);
+    wrong.set_labels(vec![0.5; wrong.num_nodes]);
+    let mut engine = quick_engine();
+    assert!(matches!(
+        engine.predict(&wrong).unwrap_err(),
+        DeepGateError::Gnn(GnnError::EncodingMismatch { .. })
+    ));
+    assert!(matches!(
+        engine.embeddings(&wrong).unwrap_err(),
+        DeepGateError::Gnn(GnnError::EncodingMismatch { .. })
+    ));
+    assert!(matches!(
+        engine.train(&[wrong.clone()], &[]).unwrap_err(),
+        DeepGateError::Gnn(GnnError::EncodingMismatch { .. })
+    ));
+    let session = engine.session();
+    assert!(matches!(
+        session.predict_batch(&[wrong]).unwrap_err(),
+        DeepGateError::Gnn(GnnError::EncodingMismatch { .. })
+    ));
+}
+
+#[test]
+fn builder_rejects_inconsistent_configuration() {
+    assert!(matches!(
+        Engine::builder().num_patterns(0).build().unwrap_err(),
+        DeepGateError::Config(_)
+    ));
+    assert!(matches!(
+        Engine::builder()
+            .model(DeepGateConfig {
+                hidden_dim: 0,
+                ..DeepGateConfig::default()
+            })
+            .build()
+            .unwrap_err(),
+        DeepGateError::Config(_)
+    ));
+    assert!(matches!(
+        Engine::builder()
+            .transform_to_aig(false) // needs feature_dim 12, default is 3
+            .build()
+            .unwrap_err(),
+        DeepGateError::Config(_)
+    ));
+    assert!(matches!(
+        Engine::builder()
+            .from_checkpoint_json("not json")
+            .build()
+            .unwrap_err(),
+        DeepGateError::Nn(_)
+    ));
+    // A checkpoint carries its own feature_dim; restoring an AIG-trained
+    // model into a raw-netlist pipeline must fail at build time.
+    let aig_checkpoint = quick_engine().checkpoint_json().unwrap();
+    assert!(matches!(
+        Engine::builder()
+            .from_checkpoint_json(aig_checkpoint)
+            .transform_to_aig(false)
+            .build()
+            .unwrap_err(),
+        DeepGateError::Config(_)
+    ));
+}
+
+#[test]
+fn plan_from_differently_configured_model_is_rejected() {
+    // Prepare under a model without skip connections, predict under one
+    // with them: the plan's edge lists would be wrong, so this must error.
+    let engine = quick_engine();
+    let circuits = engine
+        .prepare(&BenchText::new("full_adder", FULL_ADDER))
+        .unwrap();
+    let no_skip = Engine::builder()
+        .model(DeepGateConfig {
+            hidden_dim: 12,
+            num_iterations: 2,
+            regressor_hidden: 8,
+            use_skip_connections: false,
+            ..DeepGateConfig::default()
+        })
+        .build()
+        .unwrap()
+        .into_session();
+    let prepared = no_skip.prepare(circuits[0].clone());
+    let with_skip = engine.into_session();
+    let mut out = Vec::new();
+    assert!(matches!(
+        with_skip.predict_into(&prepared, &mut out).unwrap_err(),
+        DeepGateError::Gnn(GnnError::PlanMismatch)
+    ));
+}
+
+#[test]
+fn train_error_leaves_weights_untouched() {
+    // An encoding mismatch anywhere in the batch must be caught before any
+    // optimiser step mutates the model.
+    let mut engine = quick_engine();
+    let good = engine
+        .prepare(&BenchText::new("full_adder", FULL_ADDER))
+        .unwrap();
+    let mut wrong =
+        CircuitGraph::from_netlist(&generators::parity_tree(4), FeatureEncoding::AllGates, None);
+    wrong.set_labels(vec![0.5; wrong.num_nodes]);
+    let before = engine.predict(&good[0]).unwrap();
+    let err = engine.train(&[good[0].clone(), wrong], &[]).unwrap_err();
+    assert!(matches!(
+        err,
+        DeepGateError::Gnn(GnnError::EncodingMismatch { .. })
+    ));
+    let after = engine.predict(&good[0]).unwrap();
+    assert_eq!(before, after, "weights changed despite train() erroring");
+}
+
+#[test]
+fn empty_batch_is_reported() {
+    let engine = quick_engine();
+    let session = engine.into_session();
+    assert!(matches!(
+        session.predict_batch(&[]).unwrap_err(),
+        DeepGateError::EmptyBatch
+    ));
+    assert!(matches!(
+        session.prepare_batch(&[]).unwrap_err(),
+        DeepGateError::EmptyBatch
+    ));
+}
+
+#[test]
+fn batched_predictions_agree_with_single_circuit_predictions() {
+    // The fused-union batch path must reproduce per-circuit results.
+    let engine = quick_engine();
+    let circuits = engine
+        .prepare(
+            &SuiteSource::new(SuiteKind::Iwls, 3)
+                .seed(11)
+                .size_scale(0.1),
+        )
+        .unwrap();
+    let session = engine.into_session();
+    let batch = session.predict_batch(&circuits).unwrap();
+    assert_eq!(batch.len(), circuits.len());
+    for (circuit, predictions) in circuits.iter().zip(&batch) {
+        let single = session.predict(circuit).unwrap();
+        assert_eq!(single.len(), predictions.len());
+        for (x, y) in single.iter().zip(predictions) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn prepared_batches_reuse_buffers_and_agree_with_fresh_predictions() {
+    let engine = quick_engine();
+    let circuits = engine
+        .prepare(
+            &SuiteSource::new(SuiteKind::Iwls, 3)
+                .seed(11)
+                .size_scale(0.1),
+        )
+        .unwrap();
+    let session = engine.into_session();
+    let fresh = session.predict_batch(&circuits).unwrap();
+
+    let prepared = session.prepare_batch(&circuits).unwrap();
+    assert_eq!(prepared.len(), circuits.len());
+    assert!(!prepared.is_empty());
+    let mut out = Vec::new();
+    // Two rounds through the same buffers: steady-state serving.
+    for _ in 0..2 {
+        session.predict_batch_into(&prepared, &mut out).unwrap();
+        assert_eq!(out.len(), fresh.len());
+        for (a, b) in fresh.iter().zip(&out) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+
+    // The single-circuit prepared path agrees too.
+    let single = session.prepare(circuits[0].clone());
+    assert_eq!(single.circuit().num_nodes, circuits[0].num_nodes);
+    let mut buf = Vec::new();
+    session.predict_into(&single, &mut buf).unwrap();
+    for (x, y) in buf.iter().zip(&fresh[0]) {
+        assert!((x - y).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn session_iteration_override_changes_predictions() {
+    let engine = quick_engine();
+    let circuits = engine
+        .prepare(&BenchText::new("full_adder", FULL_ADDER))
+        .unwrap();
+    let base = engine.session().predict(&circuits[0]).unwrap();
+    let deeper = engine
+        .session()
+        .with_iterations(6)
+        .predict(&circuits[0])
+        .unwrap();
+    assert!(base.iter().zip(&deeper).any(|(a, b)| (a - b).abs() > 1e-7));
+}
+
+#[test]
+fn checkpoint_roundtrips_through_builder_json() {
+    let engine = quick_engine();
+    let json = engine.checkpoint_json().unwrap();
+    let restored = Engine::builder()
+        .from_checkpoint_json(json)
+        .build()
+        .unwrap();
+    assert_eq!(restored.model_config(), engine.model_config());
+    let circuits = engine
+        .prepare(&BenchText::new("full_adder", FULL_ADDER))
+        .unwrap();
+    let a = engine.predict(&circuits[0]).unwrap();
+    let b = restored.predict(&circuits[0]).unwrap();
+    for (x, y) in a.iter().zip(&b) {
+        assert!((x - y).abs() < 1e-6);
+    }
+}

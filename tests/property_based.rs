@@ -1,9 +1,11 @@
 //! Property-based tests over the core data structures and invariants,
-//! spanning the netlist, AIG and simulation crates.
+//! spanning the netlist, AIG and simulation crates plus the unified
+//! Engine/InferenceSession facade.
 
 use deepgate::aig::{opt, Aig, ReconvergenceAnalysis, ReconvergenceConfig};
 use deepgate::gnn::{CircuitGraph, FeatureEncoding};
 use deepgate::netlist::{bench, GateKind, Netlist, NodeId};
+use deepgate::prelude::*;
 use deepgate::sim::{simulate_aig_words, simulate_netlist_words};
 use proptest::prelude::*;
 
@@ -151,5 +153,44 @@ proptest! {
             ReconvergenceConfig { max_level_distance: 64, max_tracked_stems: 48 },
         );
         prop_assert!(tight.num_reconvergence_nodes() <= loose.num_reconvergence_nodes());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Engine facade invariants on arbitrary circuits: `prepare` labels
+    /// every node with a probability, `predict_batch` returns one
+    /// probability vector per circuit, and the batched path agrees with the
+    /// single-circuit path.
+    #[test]
+    fn engine_prepares_and_serves_arbitrary_circuits(netlist in random_netlist(25)) {
+        let engine = Engine::builder()
+            .model(DeepGateConfig {
+                hidden_dim: 8,
+                num_iterations: 1,
+                regressor_hidden: 4,
+                ..DeepGateConfig::default()
+            })
+            .num_patterns(256)
+            .build()
+            .expect("valid configuration");
+        let circuits = engine
+            .prepare(&NetlistSource::from(netlist))
+            .expect("prepare succeeds");
+        for circuit in &circuits {
+            let labels = circuit.labels.as_ref().expect("prepared circuits are labelled");
+            prop_assert_eq!(labels.len(), circuit.num_nodes);
+            prop_assert!(labels.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+        let session = engine.into_session();
+        let batch = session.predict_batch(&circuits).expect("serves");
+        prop_assert_eq!(batch.len(), circuits.len());
+        for (predictions, circuit) in batch.iter().zip(&circuits) {
+            prop_assert_eq!(predictions.len(), circuit.num_nodes);
+            prop_assert!(predictions.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            let single = session.predict(circuit).expect("serves");
+            prop_assert!(single.iter().zip(predictions).all(|(a, b)| (a - b).abs() < 1e-6));
+        }
     }
 }
