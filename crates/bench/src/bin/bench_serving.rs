@@ -1,0 +1,293 @@
+//! Serving-throughput load generator: the `deepgate-serve` micro-batching
+//! server under concurrent TCP clients versus a sequential
+//! predict-per-request baseline, over repeated benchmark-suite circuits.
+//!
+//! Writes a `BENCH_serving.json` baseline (throughput, latency percentiles,
+//! batching and cache statistics) into the current directory. Accepts
+//! `--full` / `DEEPGATE_FULL=1` for a larger sweep like the table binaries.
+//!
+//! ```bash
+//! cargo run --release -p deepgate-bench --bin bench_serving
+//! ```
+
+use deepgate::prelude::*;
+use deepgate_bench::Scale;
+use deepgate_serve::{ServeConfig, Server};
+use serde::{Serialize, Value};
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// The JSON baseline written for future PRs to compare against.
+#[derive(Debug, Serialize)]
+struct ServingBaseline {
+    scale: String,
+    clients: usize,
+    requests: usize,
+    distinct_circuits: usize,
+    sequential_s: f64,
+    sequential_rps: f64,
+    server_s: f64,
+    server_rps: f64,
+    speedup: f64,
+    latency_p50_ms: f64,
+    latency_p90_ms: f64,
+    latency_p99_ms: f64,
+    mean_batch: f64,
+    max_batch_observed: u64,
+    deduplicated: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    exact_match: bool,
+    worker_threads: usize,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank]
+}
+
+fn predict_request(text: &str) -> String {
+    let mut object = std::collections::BTreeMap::new();
+    object.insert("id".to_string(), Value::UInt(0));
+    object.insert("bench".to_string(), Value::Str(text.to_string()));
+    let mut line = serde_json::to_string(&Value::Object(object)).expect("request serialises");
+    line.push('\n');
+    line
+}
+
+fn response_probs(line: &str) -> Vec<f32> {
+    let response: Value = serde_json::from_str(line).expect("server responses are JSON");
+    let object = response.as_object().expect("object response");
+    if let Some(Value::Str(error)) = object.get("error") {
+        panic!("server returned an error: {error}");
+    }
+    object
+        .get("probs")
+        .and_then(Value::as_array)
+        .expect("probs array")
+        .iter()
+        .map(|v| match v {
+            Value::Float(f) => *f as f32,
+            Value::UInt(u) => *u as f32,
+            Value::Int(i) => *i as f32,
+            other => panic!("non-numeric probability {other:?}"),
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    let (clients, per_client, distinct) = match scale {
+        Scale::Quick => (64usize, 6usize, 12usize),
+        Scale::Full => (64, 32, 16),
+    };
+    let requests = clients * per_client;
+
+    // The serving fleet: distinct suite circuits as BENCH interchange text,
+    // the format requests arrive in.
+    let suites = [
+        SuiteKind::Itc99,
+        SuiteKind::Iwls,
+        SuiteKind::Epfl,
+        SuiteKind::Opencores,
+    ];
+    let mut texts: Vec<String> = Vec::new();
+    'outer: for round in 0.. {
+        for (i, &suite) in suites.iter().enumerate() {
+            if texts.len() >= distinct {
+                break 'outer;
+            }
+            let netlist = suite.generate_design(round, 90 + i as u64, 0.12);
+            texts.push(deepgate::netlist::bench::write(&netlist));
+        }
+    }
+
+    // Identical weights on both sides, via a checkpoint round trip.
+    let engine = Engine::builder()
+        .model(DeepGateConfig {
+            hidden_dim: 32,
+            num_iterations: 6,
+            ..DeepGateConfig::default()
+        })
+        .build()
+        .expect("valid configuration");
+    let checkpoint = engine.checkpoint_json().expect("checkpoint serialises");
+    let server_engine = Engine::builder()
+        .from_checkpoint_json(checkpoint)
+        .build()
+        .expect("checkpoint restores");
+
+    eprintln!(
+        "[bench_serving] {requests} requests over {} distinct circuits, {clients} clients",
+        texts.len()
+    );
+
+    // ---- Sequential predict-per-request baseline: the architecture without
+    // the serving subsystem — every request parses, transforms, encodes,
+    // plans and predicts on its own, one at a time.
+    let session = engine.session();
+    let mut expected: Vec<Vec<f32>> = Vec::new();
+    for text in &texts {
+        let circuit = engine
+            .prepare_unlabelled(&BenchText::new("warmup", text.clone()))
+            .expect("suite circuits parse")
+            .pop()
+            .expect("one circuit");
+        expected.push(session.predict(&circuit).expect("predicts"));
+    }
+    let sequential_start = Instant::now();
+    for index in 0..requests {
+        let text = &texts[index % texts.len()];
+        let circuit = engine
+            .prepare_unlabelled(&BenchText::new("request", text.clone()))
+            .expect("suite circuits parse")
+            .pop()
+            .expect("one circuit");
+        let probs = session.predict(&circuit).expect("predicts");
+        assert_eq!(probs.len(), expected[index % texts.len()].len());
+    }
+    let sequential_s = sequential_start.elapsed().as_secs_f64();
+    eprintln!(
+        "[bench_serving] sequential baseline: {sequential_s:.2}s ({:.1} req/s)",
+        requests as f64 / sequential_s
+    );
+
+    // ---- The micro-batching server under concurrent load.
+    let server = Server::start(
+        server_engine,
+        ServeConfig {
+            // Sync clients cap in-flight requests at `clients`; a deep batch
+            // lets one drain pick up most of them, which maximises both
+            // in-batch deduplication and union fusing.
+            max_batch: clients,
+            batch_window: Duration::from_millis(2),
+            queue_depth: 4096,
+            cache_capacity: 64,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    // One warm-up pass so both architectures are measured in steady state
+    // (the baseline has no state to warm).
+    {
+        let stream = TcpStream::connect(addr).expect("connects");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        for text in &texts {
+            writer
+                .write_all(predict_request(text).as_bytes())
+                .expect("request written");
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("response arrives");
+            let _ = response_probs(&line);
+        }
+    }
+
+    let server_start = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|client| {
+            let texts = texts.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connects");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut writer = stream;
+                let mut latencies = Vec::with_capacity(per_client);
+                let mut exact = true;
+                for request in 0..per_client {
+                    let which = (client + request) % texts.len();
+                    let line = predict_request(&texts[which]);
+                    let start = Instant::now();
+                    writer.write_all(line.as_bytes()).expect("request written");
+                    let mut response = String::new();
+                    reader.read_line(&mut response).expect("response arrives");
+                    latencies.push(start.elapsed().as_secs_f64() * 1e3);
+                    exact &= response_probs(&response) == expected[which];
+                }
+                (latencies, exact)
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::with_capacity(requests);
+    let mut exact_match = true;
+    for worker in workers {
+        let (mut client_latencies, exact) = worker.join().expect("client thread");
+        latencies.append(&mut client_latencies);
+        exact_match &= exact;
+    }
+    let server_s = server_start.elapsed().as_secs_f64();
+    let stats = server.stats();
+    server.shutdown();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let baseline = ServingBaseline {
+        scale: scale.label().to_string(),
+        clients,
+        requests,
+        distinct_circuits: texts.len(),
+        sequential_s,
+        sequential_rps: requests as f64 / sequential_s,
+        server_s,
+        server_rps: requests as f64 / server_s,
+        speedup: sequential_s / server_s,
+        latency_p50_ms: percentile(&latencies, 0.50),
+        latency_p90_ms: percentile(&latencies, 0.90),
+        latency_p99_ms: percentile(&latencies, 0.99),
+        mean_batch: if stats.scheduler.batches == 0 {
+            0.0
+        } else {
+            stats.scheduler.batched as f64 / stats.scheduler.batches as f64
+        },
+        max_batch_observed: stats.scheduler.max_batch_observed,
+        deduplicated: stats.scheduler.deduplicated,
+        cache_hits: stats.cache.hits,
+        cache_misses: stats.cache.misses,
+        exact_match,
+        worker_threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    };
+
+    println!(
+        "sequential : {:>8.1} req/s\n\
+         served     : {:>8.1} req/s ({:.2}x)\n\
+         latency    : p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms\n\
+         batching   : mean {:.1}, max {}, {} deduplicated\n\
+         cache      : {} hits / {} misses\n\
+         exact      : {}",
+        baseline.sequential_rps,
+        baseline.server_rps,
+        baseline.speedup,
+        baseline.latency_p50_ms,
+        baseline.latency_p90_ms,
+        baseline.latency_p99_ms,
+        baseline.mean_batch,
+        baseline.max_batch_observed,
+        baseline.deduplicated,
+        baseline.cache_hits,
+        baseline.cache_misses,
+        baseline.exact_match,
+    );
+
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serialises");
+    let path = "BENCH_serving.json";
+    std::fs::write(path, json).expect("baseline written");
+    eprintln!("[bench_serving] baseline written to {path}");
+
+    assert!(
+        exact_match,
+        "served predictions diverged from the sequential baseline"
+    );
+    if baseline.speedup < 2.0 {
+        eprintln!(
+            "[bench_serving] WARNING: speedup {:.2}x below the 2x serving target",
+            baseline.speedup
+        );
+    }
+}

@@ -230,6 +230,42 @@ impl CircuitGraph {
         Tensor::column(labels)
     }
 
+    /// A canonical 128-bit structural fingerprint of the circuit.
+    ///
+    /// The fingerprint covers everything inference depends on — feature
+    /// encoding, per-node features, logic levels, gate mask, edges and skip
+    /// edges — and deliberately excludes the design name and labels, so two
+    /// separately parsed copies of the same circuit collide on purpose. This
+    /// is the cache key of the serving layer's structural circuit cache
+    /// (`deepgate-serve`): repeated circuits skip preparation entirely.
+    pub fn fingerprint(&self) -> u128 {
+        let mut h = StructuralHasher::new();
+        h.write(self.encoding.dimension() as u64);
+        h.write(self.num_nodes as u64);
+        h.write(self.max_level as u64);
+        for &v in self.features.as_slice() {
+            h.write(v.to_bits() as u64);
+        }
+        for &level in &self.levels {
+            h.write(level as u64);
+        }
+        for &gate in &self.gate_mask {
+            h.write(gate as u64);
+        }
+        h.write(self.edges.len() as u64);
+        for &(src, dst) in &self.edges {
+            h.write(src as u64);
+            h.write(dst as u64);
+        }
+        h.write(self.skip_edges.len() as u64);
+        for edge in &self.skip_edges {
+            h.write(edge.source as u64);
+            h.write(edge.target as u64);
+            h.write(edge.level_difference as u64);
+        }
+        h.finish()
+    }
+
     /// Merges circuits into one disjoint-union graph, returning it together
     /// with each circuit's node offset inside the union.
     ///
@@ -349,6 +385,57 @@ impl CircuitGraph {
             },
             offsets,
         ))
+    }
+}
+
+/// Two interleaved FNV-1a streams with distinct offsets, combined into a
+/// 128-bit digest. Not cryptographic — collision resistance only needs to be
+/// good enough for cache keying, where a collision costs a wrong prediction
+/// for one request, and 2^-128 is far below hardware error rates.
+///
+/// Shared by [`CircuitGraph::fingerprint`] and the serving layer's
+/// request-text memo (`deepgate-serve`), so both keys evolve together.
+#[derive(Debug, Clone)]
+pub struct StructuralHasher {
+    a: u64,
+    b: u64,
+}
+
+impl StructuralHasher {
+    const OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+    const OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Creates a hasher in its initial state.
+    pub fn new() -> Self {
+        StructuralHasher {
+            a: Self::OFFSET_A,
+            b: Self::OFFSET_B,
+        }
+    }
+
+    /// Mixes in one `u64` (little-endian byte order).
+    pub fn write(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    /// Mixes in raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ byte as u64).wrapping_mul(Self::PRIME);
+            self.b = (self.b ^ byte.rotate_left(3) as u64).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// The 128-bit digest of everything written so far.
+    pub fn finish(&self) -> u128 {
+        ((self.a as u128) << 64) | self.b as u128
+    }
+}
+
+impl Default for StructuralHasher {
+    fn default() -> Self {
+        StructuralHasher::new()
     }
 }
 
@@ -579,6 +666,37 @@ mod tests {
         assert_eq!(graph.skip_edge_for(1), None);
         let enc = CircuitGraph::skip_edge_encoding(edge, 8);
         assert_eq!(enc.len(), 16);
+    }
+
+    #[test]
+    fn fingerprint_is_structural() {
+        // Same structure, different names/labels: identical fingerprints.
+        let mut a = CircuitGraph::from_netlist(&small_netlist(), FeatureEncoding::AigGates, None);
+        let mut renamed = small_netlist();
+        renamed.set_name("other");
+        let mut b = CircuitGraph::from_netlist(&renamed, FeatureEncoding::AigGates, None);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.set_labels(vec![0.5; a.num_nodes]);
+        b.set_labels(vec![0.25; b.num_nodes]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_separates_different_structures() {
+        let base = CircuitGraph::from_netlist(&small_netlist(), FeatureEncoding::AigGates, None);
+        // Different encoding of the same netlist.
+        let wide = CircuitGraph::from_netlist(&small_netlist(), FeatureEncoding::AllGates, None);
+        assert_ne!(base.fingerprint(), wide.fingerprint());
+        // One extra gate.
+        let mut bigger = small_netlist();
+        let a = bigger.find_by_name("a").expect("input `a` exists");
+        let extra = bigger.add_gate(GateKind::Not, &[a]).unwrap();
+        bigger.mark_output(extra, "z");
+        let bigger = CircuitGraph::from_netlist(&bigger, FeatureEncoding::AigGates, None);
+        assert_ne!(base.fingerprint(), bigger.fingerprint());
+        // A union of two copies differs from a single copy.
+        let (union, _) = CircuitGraph::disjoint_union(&[&base, &base]).unwrap();
+        assert_ne!(base.fingerprint(), union.fingerprint());
     }
 
     #[test]

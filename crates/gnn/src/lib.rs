@@ -32,5 +32,5 @@ pub use dag_conv::{DagConvConfig, DagConvGnn};
 pub use dag_rec::{DagRecConfig, DagRecGnn, InferencePlan};
 pub use error::GnnError;
 pub use gcn::{Gcn, GcnConfig};
-pub use graph::{CircuitGraph, FeatureEncoding, LevelBatch, SkipEdge};
+pub use graph::{CircuitGraph, FeatureEncoding, LevelBatch, SkipEdge, StructuralHasher};
 pub use model::{evaluate_prediction_error, masked_l1_loss, ProbabilityModel};

@@ -1,0 +1,133 @@
+//! Property test: writing any netlist as BENCH text and parsing it back
+//! yields an *isomorphic* netlist — same inputs, same outputs, and the same
+//! logic structure behind every output.
+//!
+//! Node ids and auto-generated `n<id>` signal names may differ across the
+//! round trip, and the writer inserts `BUF` aliases for outputs whose name
+//! differs from their driving signal, so the comparison is structural: a
+//! canonical hash per output cone with `BUF` gates collapsed.
+
+use deepgate_netlist::{bench, GateKind, Netlist, NodeId};
+use proptest::prelude::*;
+
+/// Strategy: a random valid combinational netlist built from a list of
+/// (gate kind index, fan-in picks) construction steps.
+fn random_netlist(max_gates: usize) -> impl Strategy<Value = Netlist> {
+    let gate_steps = prop::collection::vec((0usize..7, any::<u64>(), any::<u64>()), 1..max_gates);
+    (2usize..6, gate_steps).prop_map(|(num_inputs, steps)| {
+        let mut netlist = Netlist::new("roundtrip");
+        let mut signals: Vec<NodeId> = (0..num_inputs)
+            .map(|i| netlist.add_input(format!("x{i}")))
+            .collect();
+        let kinds = [
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Not,
+            GateKind::Buf,
+        ];
+        for (kind_idx, pick_a, pick_b) in steps {
+            let kind = kinds[kind_idx];
+            let a = signals[(pick_a % signals.len() as u64) as usize];
+            let b = signals[(pick_b % signals.len() as u64) as usize];
+            let id = if matches!(kind, GateKind::Not | GateKind::Buf) {
+                netlist.add_gate(kind, &[a]).expect("unary arity")
+            } else {
+                netlist.add_gate(kind, &[a, b]).expect("binary arity")
+            };
+            signals.push(id);
+        }
+        let last = *signals.last().expect("at least one signal");
+        netlist.mark_output(last, "y");
+        // A second, possibly coinciding output exercises alias buffers.
+        let mid = signals[signals.len() / 2];
+        netlist.mark_output(mid, "m");
+        netlist
+    })
+}
+
+/// Canonical structural hash of the cone driving `id`, with `BUF` gates
+/// collapsed (the writer may introduce them as output aliases). Inputs hash
+/// by name, gates by kind and fan-in hashes in argument order.
+fn cone_hash(netlist: &Netlist, id: NodeId, memo: &mut Vec<Option<u64>>) -> u64 {
+    if let Some(hash) = memo[id.index()] {
+        return hash;
+    }
+    let node = netlist.node(id);
+    let hash = match node.kind {
+        GateKind::Buf => cone_hash(netlist, node.fanins[0], memo),
+        kind => {
+            let mut hash = 0xcbf2_9ce4_8422_2325u64;
+            let mut mix = |byte: u8| {
+                hash = (hash ^ byte as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            };
+            for byte in kind.mnemonic().bytes() {
+                mix(byte);
+            }
+            if kind == GateKind::Input {
+                for byte in netlist
+                    .node_name(id)
+                    .expect("inputs are always named")
+                    .bytes()
+                {
+                    mix(byte);
+                }
+            }
+            for &fanin in &node.fanins {
+                let child = cone_hash(netlist, fanin, memo);
+                for byte in child.to_le_bytes() {
+                    mix(byte);
+                }
+            }
+            hash
+        }
+    };
+    memo[id.index()] = Some(hash);
+    hash
+}
+
+/// The netlist's observable structure: input names in order, plus
+/// `(output name, canonical cone hash)` in output order.
+fn signature(netlist: &Netlist) -> (Vec<String>, Vec<(String, u64)>) {
+    let inputs = netlist
+        .inputs()
+        .iter()
+        .map(|&id| {
+            netlist
+                .node_name(id)
+                .expect("inputs are always named")
+                .to_string()
+        })
+        .collect();
+    let mut memo = vec![None; netlist.len()];
+    let outputs = netlist
+        .outputs()
+        .iter()
+        .map(|&(id, ref name)| (name.clone(), cone_hash(netlist, id, &mut memo)))
+        .collect();
+    (inputs, outputs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BENCH write → parse round-trips to an isomorphic netlist.
+    #[test]
+    fn bench_write_parse_roundtrip_is_isomorphic(netlist in random_netlist(40)) {
+        let text = bench::write(&netlist);
+        let reparsed = bench::parse(&text, netlist.name())
+            .expect("writer output must always parse");
+        prop_assert!(reparsed.validate().is_ok());
+        prop_assert_eq!(reparsed.num_inputs(), netlist.num_inputs());
+        prop_assert_eq!(reparsed.num_outputs(), netlist.num_outputs());
+        prop_assert_eq!(signature(&reparsed), signature(&netlist));
+
+        // And the round trip is a fixpoint: writing the reparsed netlist
+        // reproduces it again.
+        let again = bench::parse(&bench::write(&reparsed), netlist.name())
+            .expect("second round trip parses");
+        prop_assert_eq!(signature(&again), signature(&reparsed));
+    }
+}

@@ -1,0 +1,109 @@
+//! `deepgate-serve` — serve a DeepGate checkpoint over TCP.
+//!
+//! ```bash
+//! deepgate-serve --checkpoint model.json --addr 127.0.0.1:7878 \
+//!     --max-batch 16 --batch-window-ms 2 --queue-depth 1024
+//! ```
+//!
+//! Without `--checkpoint` a freshly initialised (untrained) model is served —
+//! useful for protocol smoke tests and load experiments, since inference
+//! cost does not depend on the weight values.
+//!
+//! The process runs until a client sends the `{"op":"shutdown"}` verb, then
+//! drains gracefully and exits.
+
+use deepgate::core::DeepGateConfig;
+use deepgate::Engine;
+use deepgate_serve::{ServeConfig, Server};
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: deepgate-serve [options]
+  --checkpoint <path>    checkpoint written by Engine::save_checkpoint
+                         (default: fresh untrained model)
+  --addr <host:port>     listen address (default 127.0.0.1:7878, port 0 = ephemeral)
+  --max-batch <n>        requests fused per batch (default 16)
+  --batch-window-ms <n>  batch fill window in milliseconds (default 2)
+  --queue-depth <n>      bounded queue depth (default 1024)
+  --workers <n>          batching worker threads (default: CPU count)
+  --cache <n>            structural cache capacity (default 256)
+  --help                 print this help";
+
+fn fail(message: &str) -> ! {
+    eprintln!("deepgate-serve: {message}\n{USAGE}");
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut checkpoint: Option<String> = None;
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServeConfig::default()
+    };
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--checkpoint" => checkpoint = Some(value("--checkpoint")),
+            "--addr" => config.addr = value("--addr"),
+            "--max-batch" => config.max_batch = parse(&value("--max-batch"), "--max-batch"),
+            "--batch-window-ms" => {
+                config.batch_window = Duration::from_millis(parse(
+                    &value("--batch-window-ms"),
+                    "--batch-window-ms",
+                ) as u64)
+            }
+            "--queue-depth" => config.queue_depth = parse(&value("--queue-depth"), "--queue-depth"),
+            "--workers" => config.workers = parse(&value("--workers"), "--workers"),
+            "--cache" => config.cache_capacity = parse(&value("--cache"), "--cache"),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let engine = match &checkpoint {
+        Some(path) => Engine::from_checkpoint_file(path)
+            .unwrap_or_else(|e| fail(&format!("loading checkpoint `{path}`: {e}"))),
+        None => {
+            eprintln!("[deepgate-serve] no --checkpoint: serving a fresh untrained model");
+            Engine::builder()
+                .model(DeepGateConfig {
+                    hidden_dim: 32,
+                    num_iterations: 6,
+                    ..DeepGateConfig::default()
+                })
+                .build()
+                .unwrap_or_else(|e| fail(&format!("building default model: {e}")))
+        }
+    };
+
+    let server = Server::start(engine, config.clone())
+        .unwrap_or_else(|e| fail(&format!("starting server: {e}")));
+    eprintln!(
+        "[deepgate-serve] listening on {} (max_batch={}, batch_window={:?}, queue_depth={}, workers={}, cache={})",
+        server.local_addr(),
+        config.max_batch,
+        config.batch_window,
+        config.queue_depth,
+        config.workers,
+        config.cache_capacity,
+    );
+    server.wait();
+    let stats = server.stats();
+    eprintln!(
+        "[deepgate-serve] drained: {} completed, {} batches, cache {}/{} hits/misses",
+        stats.scheduler.completed, stats.scheduler.batches, stats.cache.hits, stats.cache.misses
+    );
+}
+
+fn parse(text: &str, flag: &str) -> usize {
+    text.parse()
+        .unwrap_or_else(|_| fail(&format!("{flag} expects an unsigned integer, got `{text}`")))
+}

@@ -1,0 +1,221 @@
+//! The structural circuit cache: an LRU of prepared circuits keyed by
+//! [`deepgate::gnn::CircuitGraph::fingerprint`], with a text-hash memo in
+//! front of the parser so byte-identical requests skip parsing too.
+
+use deepgate::PreparedCircuit;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A 128-bit content hash of raw BENCH request text, used as the first-level
+/// cache key (before any parsing happens). Same hash construction as
+/// [`deepgate::gnn::CircuitGraph::fingerprint`], applied to raw bytes.
+pub fn text_key(text: &str) -> u128 {
+    let mut hasher = deepgate::gnn::StructuralHasher::new();
+    hasher.write_bytes(text.as_bytes());
+    hasher.finish()
+}
+
+/// A small stamp-based LRU map. Eviction scans for the oldest stamp — O(n),
+/// which is noise at serving-cache capacities (hundreds of entries) and
+/// keeps the structure simple and obviously correct.
+#[derive(Debug)]
+struct Lru<K, V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<K, (u64, V)>,
+}
+
+impl<K: Eq + Hash + Copy, V: Clone> Lru<K, V> {
+    fn new(capacity: usize) -> Self {
+        Lru {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|entry| {
+            entry.0 = tick;
+            entry.1.clone()
+        })
+    }
+
+    fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (self.tick, value));
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Cache counters, as reported by the `stats` wire verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CacheStats {
+    /// Requests served from the cache (text-level or fingerprint-level).
+    pub hits: u64,
+    /// Requests that had to be prepared from scratch.
+    pub misses: u64,
+    /// Prepared circuits currently held.
+    pub entries: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+}
+
+/// A thread-safe structural circuit cache.
+///
+/// Lookup is two-level. The *text* level maps a hash of the raw BENCH text
+/// to a fingerprint, so a byte-identical repeat request skips parsing, AIG
+/// transformation, encoding and planning. The *fingerprint* level maps
+/// [`deepgate::gnn::CircuitGraph::fingerprint`] to the prepared circuit, so two textually
+/// different requests describing the same structure (formatting, comments,
+/// signal names) still share one prepared entry — the fingerprint is
+/// structural, not textual.
+#[derive(Debug)]
+pub struct CircuitCache {
+    state: Mutex<CacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug)]
+struct CacheState {
+    by_text: Lru<u128, u128>,
+    by_fingerprint: Lru<u128, Arc<PreparedCircuit>>,
+}
+
+impl CircuitCache {
+    /// Creates a cache holding up to `capacity` prepared circuits (0
+    /// disables caching: every lookup misses and inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        CircuitCache {
+            state: Mutex::new(CacheState {
+                // Text keys are 16 bytes; a wider memo is effectively free
+                // and lets several textual variants point at one circuit.
+                by_text: Lru::new(capacity.saturating_mul(4)),
+                by_fingerprint: Lru::new(capacity),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a prepared circuit by raw request text. Counts a hit on
+    /// success; a miss is only counted once the caller resolves it via
+    /// [`CircuitCache::lookup_fingerprint`] or [`CircuitCache::insert`].
+    pub fn lookup_text(&self, key: u128) -> Option<Arc<PreparedCircuit>> {
+        let mut state = self.state.lock().expect("cache lock");
+        let fingerprint = state.by_text.get(&key)?;
+        let prepared = state.by_fingerprint.get(&fingerprint);
+        if prepared.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        prepared
+    }
+
+    /// Looks up a prepared circuit by structural fingerprint, memoising
+    /// `text_key` for future text-level hits. Counts a hit or a miss.
+    pub fn lookup_fingerprint(
+        &self,
+        text_key: u128,
+        fingerprint: u128,
+    ) -> Option<Arc<PreparedCircuit>> {
+        let mut state = self.state.lock().expect("cache lock");
+        match state.by_fingerprint.get(&fingerprint) {
+            Some(prepared) => {
+                state.by_text.insert(text_key, fingerprint);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(prepared)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly prepared circuit under both its text key and its
+    /// structural fingerprint.
+    pub fn insert(&self, text_key: u128, prepared: Arc<PreparedCircuit>) {
+        let fingerprint = prepared.circuit().fingerprint();
+        let mut state = self.state.lock().expect("cache lock");
+        state.by_text.insert(text_key, fingerprint);
+        state.by_fingerprint.insert(fingerprint, prepared);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let state = self.state.lock().expect("cache lock");
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: state.by_fingerprint.len(),
+            capacity: state.by_fingerprint.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru: Lru<u32, u32> = Lru::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        assert_eq!(lru.get(&1), Some(10)); // refresh 1 → 2 is now oldest
+        lru.insert(3, 30);
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.get(&1), Some(10));
+        assert_eq!(lru.get(&3), Some(30));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn lru_reinsert_updates_in_place() {
+        let mut lru: Lru<u32, u32> = Lru::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        lru.insert(1, 11); // same key: no eviction
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(&1), Some(11));
+        assert_eq!(lru.get(&2), Some(20));
+    }
+
+    #[test]
+    fn zero_capacity_lru_stays_empty() {
+        let mut lru: Lru<u32, u32> = Lru::new(0);
+        lru.insert(1, 10);
+        assert_eq!(lru.get(&1), None);
+        assert_eq!(lru.len(), 0);
+    }
+
+    #[test]
+    fn text_key_separates_texts() {
+        let a = text_key("INPUT(a)\n");
+        let b = text_key("INPUT(b)\n");
+        assert_ne!(a, b);
+        assert_eq!(a, text_key("INPUT(a)\n"));
+    }
+}

@@ -1,0 +1,175 @@
+//! `deepgate-serve` — the concurrent inference server of the DeepGate
+//! reproduction.
+//!
+//! PR 1's [`deepgate::InferenceSession`] can fuse a *batch* of circuits into
+//! disjoint-union graphs and predict them in one pass; this crate supplies
+//! the subsystem that turns a stream of *independent concurrent requests*
+//! into those batches:
+//!
+//! - [`Scheduler`] — a dynamic micro-batching scheduler: a bounded MPSC
+//!   request queue drained by worker threads that collect up to
+//!   `max_batch` requests within a `batch_window`, execute them through
+//!   [`deepgate::InferenceSession::prepare_batch_refs`] /
+//!   [`deepgate::InferenceSession::predict_batch_into`], and route each
+//!   result back to its requester. A full queue rejects new work
+//!   ([`ServeError::Overloaded`]) instead of building unbounded backlog.
+//! - [`CircuitCache`] — a structural circuit cache: an LRU keyed by
+//!   [`deepgate::gnn::CircuitGraph::fingerprint`] (plus a text-hash memo in
+//!   front of the parser) holding prepared circuits with their inference
+//!   plans, so repeated circuits skip BENCH parsing, AIG transformation,
+//!   graph encoding and planning entirely.
+//! - [`Server`] — a `std::net` TCP front end speaking newline-delimited
+//!   JSON (see the [wire protocol](#wire-protocol)) with graceful drain on
+//!   shutdown: in-flight requests complete, queued requests get a clean
+//!   error, and every thread joins.
+//!
+//! # Wire protocol
+//!
+//! One JSON object per line, one response line per request, over a plain
+//! TCP connection. `id` is echoed back verbatim and may be any JSON value.
+//!
+//! ```text
+//! → {"id": 1, "bench": "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n"}
+//! ← {"id": 1, "probs": [0.5, 0.5, 0.27]}
+//! → {"id": 2, "op": "stats"}
+//! ← {"id": 2, "stats": {"completed": 1, ...}}
+//! → {"id": 3, "op": "shutdown"}
+//! ← {"id": 3, "ok": true}
+//! ```
+//!
+//! Errors come back as `{"id": ..., "error": "..."}`; malformed lines get
+//! an `id`-less error object. See `examples/serve_demo.rs` at the workspace
+//! root for a complete client session.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod scheduler;
+mod server;
+
+pub use cache::{text_key, CacheStats, CircuitCache};
+pub use scheduler::{Scheduler, SchedulerStats};
+pub use server::{Server, ServerStats};
+
+use deepgate::DeepGateError;
+use std::fmt;
+use std::time::Duration;
+
+/// Configuration of the serving subsystem: batching knobs, backpressure
+/// limits, cache size and the listen address.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; port 0 picks an ephemeral port (default
+    /// `127.0.0.1:0`).
+    pub addr: String,
+    /// Most requests a worker fuses into one batch (default 16).
+    pub max_batch: usize,
+    /// How long a worker waits for the batch to fill once it holds at least
+    /// one request (default 2 ms). Smaller trades throughput for latency.
+    pub batch_window: Duration,
+    /// Bounded queue depth; submissions beyond it are rejected with
+    /// [`ServeError::Overloaded`] (default 1024).
+    pub queue_depth: usize,
+    /// Number of batching worker threads (default: available parallelism).
+    /// [`Scheduler::new`] accepts 0 — a drain-only scheduler that queues
+    /// without serving, used to test backpressure and shutdown —
+    /// [`Server::start`] requires at least 1.
+    pub workers: usize,
+    /// Structural-cache capacity in prepared circuits (default 256; 0
+    /// disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_batch: 16,
+            batch_window: Duration::from_millis(2),
+            queue_depth: 1024,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// Any error the serving subsystem can produce.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The request queue is full — backpressure, try again later.
+    Overloaded {
+        /// The configured queue depth that was exceeded.
+        depth: usize,
+    },
+    /// The server is draining; the request was not (or no longer) queued.
+    ShuttingDown,
+    /// The request was malformed (bad JSON, missing fields, unparsable
+    /// circuit).
+    BadRequest(String),
+    /// The engine failed while preparing or predicting the circuit.
+    Engine(DeepGateError),
+    /// A socket operation failed.
+    Io(String),
+    /// The configuration was inconsistent.
+    Config(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { depth } => {
+                write!(f, "server overloaded: request queue is full ({depth})")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::Io(msg) => write!(f, "io error: {msg}"),
+            ServeError::Config(msg) => write!(f, "invalid serve configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeepGateError> for ServeError {
+    fn from(e: DeepGateError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_consistent() {
+        let config = ServeConfig::default();
+        assert!(config.max_batch >= 1);
+        assert!(config.queue_depth >= 1);
+        assert!(config.workers >= 1);
+        assert!(config.addr.ends_with(":0"));
+    }
+
+    #[test]
+    fn errors_display_and_convert() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+        let e: ServeError = DeepGateError::EmptyBatch.into();
+        assert!(matches!(e, ServeError::Engine(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(ServeError::Overloaded { depth: 4 }
+            .to_string()
+            .contains('4'));
+        assert!(ServeError::ShuttingDown.to_string().contains("shutting"));
+    }
+}

@@ -1,0 +1,592 @@
+//! The dynamic micro-batching scheduler: a bounded request queue drained by
+//! worker threads that fuse concurrent requests into
+//! [`deepgate::InferenceSession`] batches.
+
+use crate::{ServeConfig, ServeError};
+use deepgate::gnn::CircuitGraph;
+use deepgate::{InferenceSession, PreparedCircuit};
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One queued prediction request: the prepared circuit plus the channel its
+/// result is routed back through.
+struct Job {
+    circuit: Arc<PreparedCircuit>,
+    respond: Sender<Result<Vec<f32>, ServeError>>,
+}
+
+/// Scheduler counters, as reported by the `stats` wire verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SchedulerStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests answered with predictions.
+    pub completed: u64,
+    /// Requests answered with an engine error.
+    pub failed: u64,
+    /// Submissions rejected because the queue was full.
+    pub rejected_overloaded: u64,
+    /// Queued requests flushed with [`ServeError::ShuttingDown`] during
+    /// drain (plus submissions after the drain began).
+    pub rejected_shutdown: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Requests summed over all executed batches (mean batch size is
+    /// `batched / batches`).
+    pub batched: u64,
+    /// Largest batch executed so far.
+    pub max_batch_observed: u64,
+    /// Requests that shared a batch-mate's prediction instead of running
+    /// their own (duplicate circuits deduplicated within a batch).
+    pub deduplicated: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    batches: AtomicU64,
+    batched: AtomicU64,
+    max_batch_observed: AtomicU64,
+    deduplicated: AtomicU64,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+struct Shared {
+    session: InferenceSession,
+    max_batch: usize,
+    batch_window: Duration,
+    queue_depth: usize,
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    counters: Counters,
+}
+
+/// The dynamic micro-batching scheduler.
+///
+/// Requests enter through [`Scheduler::submit`] into a bounded queue; worker
+/// threads drain it in batches. A worker holding one request keeps
+/// collecting until it has `max_batch` of them or `batch_window` has
+/// elapsed, then deduplicates repeated circuits, executes the distinct
+/// remainder as fused disjoint-union graphs and routes each result back to
+/// its submitter — so concurrent small requests pay one batched dispatch
+/// instead of many sequential ones, repeats of a hot circuit pay a single
+/// prediction, and a lone request under light load only ever waits
+/// `batch_window`.
+///
+/// Backpressure is explicit: a full queue rejects with
+/// [`ServeError::Overloaded`] rather than queueing unboundedly. Shutdown is
+/// graceful: batches already executing complete and respond, still-queued
+/// requests are flushed with [`ServeError::ShuttingDown`], and
+/// [`Scheduler::shutdown`] joins every worker.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Starts `config.workers` batching workers over a session.
+    ///
+    /// `config.workers == 0` is allowed and starts none: requests queue up
+    /// (and are rejected / flushed per the normal rules) without ever being
+    /// served — useful for exercising backpressure and drain behaviour in
+    /// tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] if `max_batch` or `queue_depth` is 0.
+    pub fn new(session: InferenceSession, config: &ServeConfig) -> Result<Scheduler, ServeError> {
+        if config.max_batch == 0 {
+            return Err(ServeError::Config("max_batch must be at least 1".into()));
+        }
+        if config.queue_depth == 0 {
+            return Err(ServeError::Config("queue_depth must be at least 1".into()));
+        }
+        let shared = Arc::new(Shared {
+            session,
+            max_batch: config.max_batch,
+            batch_window: config.batch_window,
+            queue_depth: config.queue_depth,
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            not_empty: Condvar::new(),
+            counters: Counters::default(),
+        });
+        let workers = (0..config.workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("deepgate-serve-worker-{index}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(|e| ServeError::Io(format!("spawning worker: {e}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Scheduler {
+            shared,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// The session the workers predict through.
+    pub fn session(&self) -> &InferenceSession {
+        &self.shared.session
+    }
+
+    /// Enqueues a prepared circuit, returning the channel its result will
+    /// arrive on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Overloaded`] when the queue is full and
+    /// [`ServeError::ShuttingDown`] once [`Scheduler::shutdown`] has begun.
+    #[allow(clippy::type_complexity)]
+    pub fn submit(
+        &self,
+        circuit: Arc<PreparedCircuit>,
+    ) -> Result<Receiver<Result<Vec<f32>, ServeError>>, ServeError> {
+        let (respond, receive) = mpsc::channel();
+        {
+            let mut state = self.shared.state.lock().expect("scheduler lock");
+            if !state.open {
+                self.shared
+                    .counters
+                    .rejected_shutdown
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::ShuttingDown);
+            }
+            if state.jobs.len() >= self.shared.queue_depth {
+                self.shared
+                    .counters
+                    .rejected_overloaded
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded {
+                    depth: self.shared.queue_depth,
+                });
+            }
+            state.jobs.push_back(Job { circuit, respond });
+        }
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.not_empty.notify_one();
+        Ok(receive)
+    }
+
+    /// Submits and blocks until the result arrives — the per-connection
+    /// serving path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Scheduler::submit`] rejections and any engine error the
+    /// worker hit; a worker that disappeared mid-request reports
+    /// [`ServeError::ShuttingDown`].
+    pub fn predict(&self, circuit: Arc<PreparedCircuit>) -> Result<Vec<f32>, ServeError> {
+        self.submit(circuit)?
+            .recv()
+            .unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// Current counters plus the queue's present length.
+    pub fn stats(&self) -> SchedulerStats {
+        let c = &self.shared.counters;
+        SchedulerStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            rejected_overloaded: c.rejected_overloaded.load(Ordering::Relaxed),
+            rejected_shutdown: c.rejected_shutdown.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            batched: c.batched.load(Ordering::Relaxed),
+            max_batch_observed: c.max_batch_observed.load(Ordering::Relaxed),
+            deduplicated: c.deduplicated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Requests queued right now.
+    pub fn queue_len(&self) -> usize {
+        self.shared.state.lock().expect("scheduler lock").jobs.len()
+    }
+
+    /// Graceful drain: closes the queue, answers every still-queued request
+    /// with [`ServeError::ShuttingDown`], and joins the workers (which
+    /// finish and respond to the batches they already hold). Idempotent.
+    pub fn shutdown(&self) {
+        let flushed: Vec<Job> = {
+            let mut state = self.shared.state.lock().expect("scheduler lock");
+            state.open = false;
+            state.jobs.drain(..).collect()
+        };
+        self.shared.not_empty.notify_all();
+        self.shared
+            .counters
+            .rejected_shutdown
+            .fetch_add(flushed.len() as u64, Ordering::Relaxed);
+        for job in flushed {
+            let _ = job.respond.send(Err(ServeError::ShuttingDown));
+        }
+        let workers: Vec<JoinHandle<()>> = {
+            let mut guard = self.workers.lock().expect("worker handles lock");
+            guard.drain(..).collect()
+        };
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(jobs) = next_batch(shared) {
+        execute(shared, jobs);
+    }
+}
+
+/// Blocks for work, then keeps the queue drained into one batch until the
+/// batch is full or `batch_window` has elapsed since the first request was
+/// taken. Returns `None` once the queue is closed and empty.
+fn next_batch(shared: &Shared) -> Option<Vec<Job>> {
+    let mut state = shared.state.lock().expect("scheduler lock");
+    loop {
+        if let Some(first) = state.jobs.pop_front() {
+            let mut jobs = vec![first];
+            let deadline = Instant::now() + shared.batch_window;
+            while jobs.len() < shared.max_batch {
+                if let Some(job) = state.jobs.pop_front() {
+                    jobs.push(job);
+                    continue;
+                }
+                if !state.open {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (next, _) = shared
+                    .not_empty
+                    .wait_timeout(state, deadline - now)
+                    .expect("scheduler lock");
+                state = next;
+            }
+            return Some(jobs);
+        }
+        if !state.open {
+            return None;
+        }
+        state = shared.not_empty.wait(state).expect("scheduler lock");
+    }
+}
+
+/// Executes one batch and routes every result back to its submitter.
+///
+/// Requests for the *same* prepared circuit (same cached `Arc`, which is how
+/// the structural cache hands out repeats) are deduplicated first: the
+/// circuit is predicted once and the result fanned out to every duplicate.
+/// The model is immutable for the session's lifetime, so duplicates are
+/// guaranteed bit-identical — under a repeated-circuit serving workload this
+/// is where most of the micro-batching win comes from, on top of the fused
+/// disjoint-union execution of the distinct remainder. A batch-level failure
+/// falls back to per-circuit prediction so one poisoned request cannot fail
+/// its batch-mates.
+fn execute(shared: &Shared, jobs: Vec<Job>) {
+    let counters = &shared.counters;
+    counters.batches.fetch_add(1, Ordering::Relaxed);
+    counters
+        .batched
+        .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+    counters
+        .max_batch_observed
+        .fetch_max(jobs.len() as u64, Ordering::Relaxed);
+
+    // Group jobs by circuit identity (Arc pointer): cheap, and exact for
+    // cache-served repeats. Uncached duplicates simply form singleton
+    // groups and run individually.
+    let mut group_of_job: Vec<usize> = Vec::with_capacity(jobs.len());
+    let mut groups: Vec<usize> = Vec::new(); // index of each group's first job
+    let mut index_of: std::collections::HashMap<*const PreparedCircuit, usize> =
+        std::collections::HashMap::new();
+    for (j, job) in jobs.iter().enumerate() {
+        let key = Arc::as_ptr(&job.circuit);
+        let group = *index_of.entry(key).or_insert_with(|| {
+            groups.push(j);
+            groups.len() - 1
+        });
+        group_of_job.push(group);
+    }
+    counters
+        .deduplicated
+        .fetch_add((jobs.len() - groups.len()) as u64, Ordering::Relaxed);
+
+    let distinct: Result<Vec<Vec<f32>>, ServeError> = if groups.len() == 1 {
+        // One distinct circuit: its cached plan serves directly, no fusing.
+        let mut out = Vec::new();
+        shared
+            .session
+            .predict_into(&jobs[groups[0]].circuit, &mut out)
+            .map(|()| vec![out])
+            .map_err(ServeError::Engine)
+    } else {
+        let refs: Vec<&CircuitGraph> = groups.iter().map(|&j| jobs[j].circuit.circuit()).collect();
+        let mut out = Vec::new();
+        shared
+            .session
+            .prepare_batch_refs(&refs)
+            .and_then(|prepared| shared.session.predict_batch_into(&prepared, &mut out))
+            .map(|()| out)
+            .map_err(ServeError::Engine)
+    };
+
+    match distinct {
+        Ok(results) => {
+            for (job, &group) in jobs.iter().zip(&group_of_job) {
+                counters.completed.fetch_add(1, Ordering::Relaxed);
+                let _ = job.respond.send(Ok(results[group].clone()));
+            }
+        }
+        Err(_) => {
+            for job in &jobs {
+                let mut out = Vec::new();
+                let result = shared
+                    .session
+                    .predict_into(&job.circuit, &mut out)
+                    .map(|()| out)
+                    .map_err(ServeError::Engine);
+                match result {
+                    Ok(probs) => {
+                        counters.completed.fetch_add(1, Ordering::Relaxed);
+                        let _ = job.respond.send(Ok(probs));
+                    }
+                    Err(e) => {
+                        counters.failed.fetch_add(1, Ordering::Relaxed);
+                        let _ = job.respond.send(Err(e));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepgate::core::DeepGateConfig;
+    use deepgate::{BenchText, Engine};
+
+    fn test_session() -> InferenceSession {
+        Engine::builder()
+            .model(DeepGateConfig {
+                hidden_dim: 8,
+                num_iterations: 2,
+                regressor_hidden: 4,
+                ..DeepGateConfig::default()
+            })
+            .build()
+            .expect("valid configuration")
+            .into_session()
+    }
+
+    /// Chains of distinct lengths, so per-circuit outputs are
+    /// distinguishable by length and value.
+    fn chain_circuit(engine_session: &InferenceSession, length: usize) -> Arc<PreparedCircuit> {
+        let mut bench = String::from("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nw0 = AND(a, b)\n");
+        for i in 1..length {
+            bench.push_str(&format!("w{i} = NOT(w{})\n", i - 1));
+        }
+        bench.push_str(&format!("y = AND(w{}, a)\n", length - 1));
+        let engine = Engine::builder()
+            .model(DeepGateConfig {
+                hidden_dim: 8,
+                num_iterations: 2,
+                regressor_hidden: 4,
+                ..DeepGateConfig::default()
+            })
+            .build()
+            .expect("valid configuration");
+        let circuit = engine
+            .prepare_unlabelled(&BenchText::new(format!("chain{length}"), bench))
+            .expect("chain parses")
+            .pop()
+            .expect("one circuit");
+        Arc::new(engine_session.prepare(circuit))
+    }
+
+    #[test]
+    fn responses_are_routed_to_their_requests() {
+        let session = test_session();
+        let circuits: Vec<Arc<PreparedCircuit>> =
+            (2..8).map(|n| chain_circuit(&session, n)).collect();
+        let expected: Vec<Vec<f32>> = circuits
+            .iter()
+            .map(|c| session.predict(c.circuit()).expect("predicts"))
+            .collect();
+
+        let scheduler = Scheduler::new(
+            test_session(),
+            &ServeConfig {
+                workers: 2,
+                max_batch: 4,
+                batch_window: Duration::from_millis(5),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("valid config");
+        // Submit everything first so batches actually form, then collect.
+        let receivers: Vec<_> = circuits
+            .iter()
+            .map(|c| scheduler.submit(Arc::clone(c)).expect("queue open"))
+            .collect();
+        for (i, receiver) in receivers.into_iter().enumerate() {
+            let probs = receiver.recv().expect("worker alive").expect("predicts");
+            assert_eq!(probs, expected[i], "request {i} got someone else's result");
+        }
+        let stats = scheduler.stats();
+        assert_eq!(stats.completed, circuits.len() as u64);
+        assert!(stats.batches >= 1);
+        assert_eq!(stats.batched, circuits.len() as u64);
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn duplicate_circuits_in_a_batch_predict_once_with_identical_results() {
+        let session = test_session();
+        let a = chain_circuit(&session, 3);
+        let b = chain_circuit(&session, 5);
+        let expected_a = session.predict(a.circuit()).expect("predicts");
+        let expected_b = session.predict(b.circuit()).expect("predicts");
+
+        // No workers: drain one batch by hand so its composition is exact.
+        let scheduler = Scheduler::new(
+            test_session(),
+            &ServeConfig {
+                workers: 0,
+                max_batch: 8,
+                batch_window: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("valid config");
+        let submitted = [&a, &a, &b, &a, &b];
+        let receivers: Vec<_> = submitted
+            .iter()
+            .map(|c| scheduler.submit(Arc::clone(c)).expect("queue open"))
+            .collect();
+        let jobs = next_batch(&scheduler.shared).expect("jobs queued");
+        assert_eq!(jobs.len(), submitted.len());
+        execute(&scheduler.shared, jobs);
+
+        for (circuit, receiver) in submitted.iter().zip(receivers) {
+            let probs = receiver.recv().expect("executed").expect("predicts");
+            let expected = if Arc::ptr_eq(circuit, &a) {
+                &expected_a
+            } else {
+                &expected_b
+            };
+            assert_eq!(&probs, expected, "deduplicated result must be exact");
+        }
+        let stats = scheduler.stats();
+        assert_eq!(stats.completed, 5);
+        assert_eq!(stats.deduplicated, 3); // five requests, two distinct circuits
+        assert_eq!(stats.batches, 1);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded() {
+        let session = test_session();
+        let circuit = chain_circuit(&session, 3);
+        // No workers: the queue can only fill.
+        let scheduler = Scheduler::new(
+            session,
+            &ServeConfig {
+                workers: 0,
+                queue_depth: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("valid config");
+        let _a = scheduler.submit(Arc::clone(&circuit)).expect("first fits");
+        let _b = scheduler.submit(Arc::clone(&circuit)).expect("second fits");
+        assert!(matches!(
+            scheduler.submit(Arc::clone(&circuit)),
+            Err(ServeError::Overloaded { depth: 2 })
+        ));
+        assert_eq!(scheduler.stats().rejected_overloaded, 1);
+        assert_eq!(scheduler.queue_len(), 2);
+    }
+
+    #[test]
+    fn shutdown_flushes_queued_requests_with_clean_errors() {
+        let session = test_session();
+        let circuit = chain_circuit(&session, 3);
+        let scheduler = Scheduler::new(
+            session,
+            &ServeConfig {
+                workers: 0,
+                queue_depth: 8,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("valid config");
+        let queued: Vec<_> = (0..3)
+            .map(|_| scheduler.submit(Arc::clone(&circuit)).expect("queue open"))
+            .collect();
+        scheduler.shutdown();
+        for receiver in queued {
+            assert_eq!(
+                receiver.recv().expect("response delivered"),
+                Err(ServeError::ShuttingDown)
+            );
+        }
+        // Submissions after shutdown are rejected immediately.
+        assert!(matches!(
+            scheduler.submit(circuit),
+            Err(ServeError::ShuttingDown)
+        ));
+        assert_eq!(scheduler.stats().rejected_shutdown, 4);
+        // Idempotent.
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn scheduler_config_is_validated() {
+        assert!(matches!(
+            Scheduler::new(
+                test_session(),
+                &ServeConfig {
+                    max_batch: 0,
+                    ..ServeConfig::default()
+                }
+            ),
+            Err(ServeError::Config(_))
+        ));
+        assert!(matches!(
+            Scheduler::new(
+                test_session(),
+                &ServeConfig {
+                    queue_depth: 0,
+                    ..ServeConfig::default()
+                }
+            ),
+            Err(ServeError::Config(_))
+        ));
+    }
+}

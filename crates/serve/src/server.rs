@@ -1,0 +1,373 @@
+//! The `std::net` TCP front end: newline-delimited JSON requests over
+//! persistent connections, with graceful drain on shutdown.
+
+use crate::{
+    text_key, CacheStats, CircuitCache, Scheduler, SchedulerStats, ServeConfig, ServeError,
+};
+use deepgate::{BenchText, Engine, PreparedCircuit};
+use serde::{Serialize, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A point-in-time snapshot of every serving counter, serialised verbatim
+/// into the `stats` wire response.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ServerStats {
+    /// Scheduler counters (queueing, batching, completion).
+    pub scheduler: SchedulerStats,
+    /// Structural-cache counters.
+    pub cache: CacheStats,
+    /// Connections accepted since start.
+    pub connections: u64,
+}
+
+struct Inner {
+    engine: Engine,
+    scheduler: Scheduler,
+    cache: CircuitCache,
+    addr: SocketAddr,
+    /// Set once shutdown is requested; new predict requests are refused.
+    draining: AtomicBool,
+    /// Signalled when a shutdown request arrives (wire verb or API call).
+    shutdown_requested: (Mutex<bool>, Condvar),
+    connections: Mutex<Vec<(JoinHandle<()>, TcpStream)>>,
+    accepted: std::sync::atomic::AtomicU64,
+}
+
+/// The serving front end: owns the engine, the scheduler, the cache and the
+/// listener/connection threads.
+///
+/// ```no_run
+/// use deepgate::Engine;
+/// use deepgate_serve::{ServeConfig, Server};
+///
+/// let engine = Engine::builder().build().expect("valid configuration");
+/// let server = Server::start(engine, ServeConfig::default()).expect("binds");
+/// println!("serving on {}", server.local_addr());
+/// server.wait(); // blocks until a shutdown verb arrives, then drains
+/// ```
+pub struct Server {
+    inner: Arc<Inner>,
+    listener: Mutex<Option<JoinHandle<()>>>,
+    drained: AtomicBool,
+}
+
+impl Server {
+    /// Binds `config.addr` and starts the listener, workers and cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] for inconsistent settings (including
+    /// `workers == 0`, which only [`Scheduler::new`] accepts) and
+    /// [`ServeError::Io`] if the address cannot be bound.
+    pub fn start(engine: Engine, config: ServeConfig) -> Result<Server, ServeError> {
+        if config.workers == 0 {
+            return Err(ServeError::Config(
+                "a server needs at least one worker".into(),
+            ));
+        }
+        let scheduler = Scheduler::new(engine.session(), &config)?;
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| ServeError::Io(format!("binding {}: {e}", config.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Io(format!("local_addr: {e}")))?;
+        let inner = Arc::new(Inner {
+            engine,
+            scheduler,
+            cache: CircuitCache::new(config.cache_capacity),
+            addr,
+            draining: AtomicBool::new(false),
+            shutdown_requested: (Mutex::new(false), Condvar::new()),
+            connections: Mutex::new(Vec::new()),
+            accepted: std::sync::atomic::AtomicU64::new(0),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let listener_thread = std::thread::Builder::new()
+            .name("deepgate-serve-listener".into())
+            .spawn(move || accept_loop(&accept_inner, listener))
+            .map_err(|e| ServeError::Io(format!("spawning listener: {e}")))?;
+        Ok(Server {
+            inner,
+            listener: Mutex::new(Some(listener_thread)),
+            drained: AtomicBool::new(false),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port of `addr: …:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.stats()
+    }
+
+    /// Marks the server as draining without blocking: the wire `shutdown`
+    /// verb calls this, and [`Server::wait`] picks it up.
+    pub fn request_shutdown(&self) {
+        self.inner.request_shutdown();
+    }
+
+    /// Blocks until shutdown is requested (by [`Server::request_shutdown`]
+    /// or the wire verb), then drains and joins every thread.
+    pub fn wait(&self) {
+        let (flag, signal) = &self.inner.shutdown_requested;
+        let mut requested = flag.lock().expect("shutdown flag lock");
+        while !*requested {
+            requested = signal.wait(requested).expect("shutdown flag lock");
+        }
+        drop(requested);
+        self.drain();
+    }
+
+    /// Graceful shutdown: requests the drain and performs it. In-flight
+    /// requests complete, queued requests get [`ServeError::ShuttingDown`],
+    /// and the listener and every connection thread join. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.request_shutdown();
+        self.drain();
+    }
+
+    fn drain(&self) {
+        if self.drained.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // 1. Stop accepting: the flag is already set (request_shutdown);
+        //    a wake-up connection unblocks the accept loop.
+        let _ = TcpStream::connect(self.inner.addr);
+        if let Some(listener) = self.listener.lock().expect("listener lock").take() {
+            let _ = listener.join();
+        }
+        // 2. Drain the scheduler: executing batches complete and respond,
+        //    queued requests get a clean ShuttingDown error.
+        self.inner.scheduler.shutdown();
+        // 3. Unblock connection threads stuck reading idle sockets, then
+        //    join them. Threads mid-response finish their write first —
+        //    joining waits for that.
+        let connections: Vec<(JoinHandle<()>, TcpStream)> = {
+            let mut guard = self.inner.connections.lock().expect("connections lock");
+            guard.drain(..).collect()
+        };
+        for (_, stream) in &connections {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for (handle, _) in connections {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Inner {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            scheduler: self.scheduler.stats(),
+            cache: self.cache.stats(),
+            connections: self.accepted.load(Ordering::Relaxed),
+        }
+    }
+
+    fn request_shutdown(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        let (flag, signal) = &self.shutdown_requested;
+        *flag.lock().expect("shutdown flag lock") = true;
+        signal.notify_all();
+    }
+
+    /// Resolves request text to a prepared circuit through the two-level
+    /// structural cache; misses run the full parse → transform → encode →
+    /// plan pipeline.
+    fn resolve(&self, name: &str, bench: &str) -> Result<Arc<PreparedCircuit>, ServeError> {
+        let key = text_key(bench);
+        if let Some(prepared) = self.cache.lookup_text(key) {
+            return Ok(prepared);
+        }
+        let circuit = self
+            .engine
+            .prepare_unlabelled(&BenchText::new(name, bench))
+            .map_err(|e| ServeError::BadRequest(e.to_string()))?
+            .pop()
+            .ok_or_else(|| ServeError::BadRequest("request contained no circuit".into()))?;
+        if let Some(prepared) = self.cache.lookup_fingerprint(key, circuit.fingerprint()) {
+            return Ok(prepared);
+        }
+        let prepared = Arc::new(self.scheduler.session().prepare(circuit));
+        self.cache.insert(key, Arc::clone(&prepared));
+        Ok(prepared)
+    }
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if inner.draining.load(Ordering::SeqCst) {
+            return; // the wake-up connection (or any later one) is dropped
+        }
+        let Ok(stream) = stream else { continue };
+        inner.accepted.fetch_add(1, Ordering::Relaxed);
+        // Reap connections that have already closed, so a long-running
+        // server churning through short-lived clients does not accumulate
+        // one cloned socket and join handle per connection forever.
+        {
+            let mut guard = inner.connections.lock().expect("connections lock");
+            let mut live = Vec::with_capacity(guard.len() + 1);
+            for (handle, monitor) in guard.drain(..) {
+                if handle.is_finished() {
+                    let _ = handle.join();
+                } else {
+                    live.push((handle, monitor));
+                }
+            }
+            *guard = live;
+        }
+        let Ok(monitor) = stream.try_clone() else {
+            continue;
+        };
+        let conn_inner = Arc::clone(inner);
+        let Ok(handle) = std::thread::Builder::new()
+            .name("deepgate-serve-conn".into())
+            .spawn(move || connection_loop(&conn_inner, stream))
+        else {
+            continue;
+        };
+        inner
+            .connections
+            .lock()
+            .expect("connections lock")
+            .push((handle, monitor));
+    }
+}
+
+/// Most bytes one request line may hold. Far above any realistic BENCH
+/// circuit, but bounded: a client streaming bytes without a newline is cut
+/// off here instead of growing the line buffer until the process OOMs.
+const MAX_REQUEST_BYTES: u64 = 8 * 1024 * 1024;
+
+fn connection_loop(inner: &Arc<Inner>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match std::io::Read::take(&mut reader, MAX_REQUEST_BYTES).read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                if !line.ends_with('\n') && line.len() as u64 >= MAX_REQUEST_BYTES {
+                    // The limit was hit mid-line; no way to resync, so
+                    // report and drop the connection.
+                    let _ = writer.write_all(
+                        format!("{{\"error\":\"request exceeds {MAX_REQUEST_BYTES} bytes\"}}\n")
+                            .as_bytes(),
+                    );
+                    return;
+                }
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let (response, shutdown) = handle_line(inner, &line);
+                let mut payload = match serde_json::to_string(&response) {
+                    Ok(json) => json,
+                    Err(_) => r#"{"error":"internal: response serialisation failed"}"#.into(),
+                };
+                payload.push('\n');
+                if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
+                    return;
+                }
+                if shutdown {
+                    // Respond first, then begin the drain; the drain joins
+                    // this thread, so only flag the request here.
+                    inner.request_shutdown();
+                    return;
+                }
+            }
+            Err(_) => return, // force-closed during drain, or a socket error
+        }
+    }
+}
+
+/// Parses and dispatches one request line. Returns the response value and
+/// whether the connection requested a server shutdown.
+fn handle_line(inner: &Arc<Inner>, line: &str) -> (Value, bool) {
+    let parsed: Result<Value, _> = serde_json::from_str(line.trim());
+    let request = match parsed {
+        Ok(value) => value,
+        Err(e) => return (error_response(None, &format!("invalid JSON: {e}")), false),
+    };
+    let Some(fields) = request.as_object() else {
+        return (error_response(None, "request must be a JSON object"), false);
+    };
+    let id = fields.get("id").cloned();
+    let op = match fields.get("op") {
+        Some(Value::Str(op)) => op.as_str(),
+        Some(_) => return (error_response(id, "`op` must be a string"), false),
+        None => "predict",
+    };
+    match op {
+        "stats" => {
+            let mut response = object_with_id(id);
+            response.insert("stats".to_string(), inner.stats().serialize());
+            (Value::Object(response), false)
+        }
+        "shutdown" => {
+            let mut response = object_with_id(id);
+            response.insert("ok".to_string(), Value::Bool(true));
+            (Value::Object(response), true)
+        }
+        "predict" => {
+            if inner.draining.load(Ordering::SeqCst) {
+                return (
+                    error_response(id, &ServeError::ShuttingDown.to_string()),
+                    false,
+                );
+            }
+            let Some(Value::Str(bench)) = fields.get("bench") else {
+                return (
+                    error_response(id, "predict request needs a string `bench` field"),
+                    false,
+                );
+            };
+            let name = match fields.get("name") {
+                Some(Value::Str(name)) => name.as_str(),
+                _ => "request",
+            };
+            let outcome = inner
+                .resolve(name, bench)
+                .and_then(|prepared| inner.scheduler.predict(prepared));
+            match outcome {
+                Ok(probs) => {
+                    let mut response = object_with_id(id);
+                    response.insert("probs".to_string(), probs.serialize());
+                    (Value::Object(response), false)
+                }
+                Err(e) => (error_response(id, &e.to_string()), false),
+            }
+        }
+        other => (error_response(id, &format!("unknown op `{other}`")), false),
+    }
+}
+
+fn object_with_id(id: Option<Value>) -> std::collections::BTreeMap<String, Value> {
+    let mut map = std::collections::BTreeMap::new();
+    if let Some(id) = id {
+        map.insert("id".to_string(), id);
+    }
+    map
+}
+
+fn error_response(id: Option<Value>, message: &str) -> Value {
+    let mut map = object_with_id(id);
+    map.insert("error".to_string(), Value::Str(message.to_string()));
+    Value::Object(map)
+}

@@ -1,0 +1,296 @@
+//! Integration tests of the TCP front end: wire protocol round trips,
+//! caching across requests, error reporting and graceful shutdown.
+
+use deepgate::core::DeepGateConfig;
+use deepgate::prelude::*;
+use deepgate_serve::{ServeConfig, Server};
+use serde::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const FULL_ADDER: &str = "INPUT(a)\nINPUT(b)\nINPUT(cin)\nOUTPUT(sum)\nOUTPUT(cout)\nx = XOR(a, b)\nsum = XOR(x, cin)\ng1 = AND(a, b)\ng2 = AND(x, cin)\ncout = OR(g1, g2)\n";
+
+fn quick_engine() -> Engine {
+    Engine::builder()
+        .model(DeepGateConfig {
+            hidden_dim: 8,
+            num_iterations: 2,
+            regressor_hidden: 4,
+            ..DeepGateConfig::default()
+        })
+        .build()
+        .expect("valid configuration")
+}
+
+fn start_server(config: ServeConfig) -> Server {
+    Server::start(quick_engine(), config).expect("server binds an ephemeral port")
+}
+
+/// A line-oriented test client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = TcpStream::connect(server.local_addr()).expect("server is listening");
+        let reader = BufReader::new(stream.try_clone().expect("clone socket"));
+        Client {
+            reader,
+            writer: stream,
+        }
+    }
+
+    fn roundtrip(&mut self, request: &str) -> Value {
+        self.writer
+            .write_all(format!("{request}\n").as_bytes())
+            .expect("request written");
+        self.writer.flush().expect("request flushed");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("response arrives");
+        serde_json::from_str(&line).expect("response is JSON")
+    }
+}
+
+fn field<'a>(value: &'a Value, name: &str) -> &'a Value {
+    value
+        .as_object()
+        .and_then(|o| o.get(name))
+        .unwrap_or_else(|| panic!("response lacks `{name}`: {value:?}"))
+}
+
+fn probs_of(value: &Value) -> Vec<f32> {
+    field(value, "probs")
+        .as_array()
+        .expect("probs is an array")
+        .iter()
+        .map(|v| match v {
+            Value::Float(f) => *f as f32,
+            Value::UInt(u) => *u as f32,
+            other => panic!("non-numeric probability {other:?}"),
+        })
+        .collect()
+}
+
+#[test]
+fn predict_roundtrips_and_matches_local_inference() {
+    let engine = quick_engine();
+    let expected = {
+        let circuits = engine
+            .prepare_unlabelled(&BenchText::new("full_adder", FULL_ADDER))
+            .expect("bench parses");
+        engine.session().predict(&circuits[0]).expect("predicts")
+    };
+
+    let server = start_server(ServeConfig::default());
+    let mut client = Client::connect(&server);
+    let request = serde_json::to_string(&Value::Object(
+        [
+            ("id".to_string(), Value::UInt(7)),
+            ("bench".to_string(), Value::Str(FULL_ADDER.to_string())),
+        ]
+        .into_iter()
+        .collect(),
+    ))
+    .expect("request serialises");
+    let response = client.roundtrip(&request);
+    assert_eq!(field(&response, "id"), &Value::UInt(7));
+    let probs = probs_of(&response);
+    assert_eq!(probs.len(), expected.len());
+    for (got, want) in probs.iter().zip(&expected) {
+        assert_eq!(got, want, "server prediction must match local inference");
+    }
+
+    // The same circuit again: served from the structural cache.
+    let response = client.roundtrip(&request);
+    assert_eq!(probs_of(&response), probs);
+    let stats = server.stats();
+    assert_eq!(stats.cache.hits, 1);
+    assert_eq!(stats.cache.misses, 1);
+    assert_eq!(stats.scheduler.completed, 2);
+    server.shutdown();
+}
+
+#[test]
+fn structurally_identical_texts_share_one_cache_entry() {
+    let server = start_server(ServeConfig::default());
+    let mut client = Client::connect(&server);
+    let commented = format!("# same circuit, different text\n{FULL_ADDER}");
+    for text in [FULL_ADDER, &commented] {
+        let request = serde_json::to_string(&Value::Object(
+            [
+                ("id".to_string(), Value::UInt(1)),
+                ("bench".to_string(), Value::Str(text.to_string())),
+            ]
+            .into_iter()
+            .collect(),
+        ))
+        .expect("request serialises");
+        let response = client.roundtrip(&request);
+        assert!(field(&response, "probs").as_array().is_some());
+    }
+    let stats = server.stats();
+    // Text differs, structure does not: the fingerprint level hits, so one
+    // prepared entry serves both requests.
+    assert_eq!(stats.cache.entries, 1);
+    assert_eq!(stats.cache.hits, 1);
+    assert_eq!(stats.cache.misses, 1);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_and_invalid_requests_get_error_responses() {
+    let server = start_server(ServeConfig::default());
+    let mut client = Client::connect(&server);
+
+    let response = client.roundtrip("this is not json");
+    assert!(matches!(field(&response, "error"), Value::Str(_)));
+
+    let response = client.roundtrip(r#"{"id": 1}"#);
+    assert!(matches!(field(&response, "error"), Value::Str(_)));
+    assert_eq!(field(&response, "id"), &Value::UInt(1));
+
+    let response = client.roundtrip(r#"{"id": 2, "bench": "y = AND(a, b)\n"}"#);
+    let Value::Str(message) = field(&response, "error") else {
+        panic!("expected error string");
+    };
+    assert!(message.contains("bad request"), "got: {message}");
+
+    let response = client.roundtrip(r#"{"id": 3, "op": "frobnicate"}"#);
+    assert!(matches!(field(&response, "error"), Value::Str(_)));
+
+    // The connection survives all of that.
+    let response = client.roundtrip(r#"{"id": 4, "op": "stats"}"#);
+    assert!(field(&response, "stats").as_object().is_some());
+    server.shutdown();
+}
+
+#[test]
+fn stats_verb_reports_counters() {
+    let server = start_server(ServeConfig::default());
+    let mut client = Client::connect(&server);
+    let request = format!(
+        r#"{{"id": "s1", "bench": {}}}"#,
+        serde_json::to_string(&FULL_ADDER.to_string()).expect("string serialises")
+    );
+    client.roundtrip(&request);
+    let response = client.roundtrip(r#"{"id": "s2", "op": "stats"}"#);
+    let stats = field(&response, "stats");
+    let scheduler = field(stats, "scheduler");
+    assert_eq!(field(scheduler, "completed"), &Value::UInt(1));
+    assert_eq!(field(stats, "connections"), &Value::UInt(1));
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_verb_drains_gracefully_under_load() {
+    // Several clients fire requests while one of them asks for shutdown:
+    // every in-flight request must complete or get a clean error, the
+    // drain must answer the shutdown verb, and every thread must join
+    // (the test harness would hang otherwise).
+    let server = start_server(ServeConfig {
+        max_batch: 4,
+        batch_window: Duration::from_millis(1),
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connects");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut writer = stream;
+                let request = format!(
+                    "{}\n",
+                    serde_json::to_string(&Value::Object(
+                        [
+                            ("id".to_string(), Value::UInt(1)),
+                            ("bench".to_string(), Value::Str(FULL_ADDER.to_string())),
+                        ]
+                        .into_iter()
+                        .collect(),
+                    ))
+                    .expect("request serialises")
+                );
+                let mut answered = 0usize;
+                for _ in 0..16 {
+                    if writer.write_all(request.as_bytes()).is_err() {
+                        break; // server drained mid-run: acceptable
+                    }
+                    let mut line = String::new();
+                    match reader.read_line(&mut line) {
+                        Ok(n) if n > 0 => {
+                            let response: Value =
+                                serde_json::from_str(&line).expect("well-formed response");
+                            let object = response.as_object().expect("object response");
+                            assert!(
+                                object.contains_key("probs") || object.contains_key("error"),
+                                "response is neither a result nor a clean error: {line}"
+                            );
+                            answered += 1;
+                        }
+                        _ => break, // force-closed during drain: acceptable
+                    }
+                }
+                answered
+            })
+        })
+        .collect();
+
+    // Let the clients make some progress, then drain via the wire verb.
+    std::thread::sleep(Duration::from_millis(30));
+    let mut shutter = Client::connect(&server);
+    let response = shutter.roundtrip(r#"{"id": "bye", "op": "shutdown"}"#);
+    assert_eq!(field(&response, "ok"), &Value::Bool(true));
+
+    // wait() returns only after the listener, workers and connection
+    // threads have all joined.
+    server.wait();
+
+    let answered: usize = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread panicked"))
+        .sum();
+    assert!(answered > 0, "no request completed before the drain");
+}
+
+#[test]
+fn oversized_request_lines_are_rejected_not_buffered() {
+    let server = start_server(ServeConfig::default());
+    let stream = TcpStream::connect(server.local_addr()).expect("connects");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    // 9 MiB without a newline: past the 8 MiB request cap.
+    let chunk = vec![b'a'; 1024 * 1024];
+    for _ in 0..9 {
+        if writer.write_all(&chunk).is_err() {
+            break; // server may cut the connection mid-stream: also fine
+        }
+    }
+    let _ = writer.flush();
+    let mut line = String::new();
+    if reader.read_line(&mut line).is_ok() && !line.is_empty() {
+        assert!(line.contains("error"), "expected an error, got: {line}");
+    }
+    // Either way the connection is closed and the server stays healthy.
+    let mut probe = Client::connect(&server);
+    let response = probe.roundtrip(r#"{"id": 1, "op": "stats"}"#);
+    assert!(field(&response, "stats").as_object().is_some());
+    server.shutdown();
+}
+
+#[test]
+fn server_rejects_workerless_config() {
+    assert!(Server::start(
+        quick_engine(),
+        ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        },
+    )
+    .is_err());
+}

@@ -1,0 +1,118 @@
+//! Living documentation of the `deepgate-serve` wire protocol: starts the
+//! server on an ephemeral port, talks to it over a plain TCP socket exactly
+//! as any non-Rust client would, and prints every request/response pair.
+//!
+//! ```bash
+//! cargo run --release --example serve_demo
+//! ```
+//!
+//! The protocol is newline-delimited JSON — one object per line:
+//!
+//! - `{"id": …, "bench": "<BENCH text>"}` → `{"id": …, "probs": […]}`
+//!   (`id` is echoed verbatim and may be any JSON value)
+//! - `{"id": …, "op": "stats"}` → `{"id": …, "stats": {…}}`
+//! - `{"id": …, "op": "shutdown"}` → `{"id": …, "ok": true}`, then the
+//!   server drains gracefully
+//! - anything malformed → `{"id": …, "error": "…"}`
+
+use deepgate::prelude::*;
+use deepgate_serve::{ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A handful of circuits a client might ask about, in the BENCH interchange
+/// format requests travel in.
+const CIRCUITS: [(&str, &str); 3] = [
+    (
+        "full_adder",
+        "INPUT(a)\nINPUT(b)\nINPUT(cin)\nOUTPUT(sum)\nOUTPUT(cout)\n\
+         x = XOR(a, b)\nsum = XOR(x, cin)\ng1 = AND(a, b)\ng2 = AND(x, cin)\ncout = OR(g1, g2)\n",
+    ),
+    (
+        "mux2",
+        "INPUT(s)\nINPUT(d0)\nINPUT(d1)\nOUTPUT(y)\n\
+         ns = NOT(s)\na = AND(d0, ns)\nb = AND(d1, s)\ny = OR(a, b)\n",
+    ),
+    (
+        "majority3",
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(m)\n\
+         ab = AND(a, b)\nbc = AND(b, c)\nac = AND(a, c)\nm = OR(ab, bc, ac)\n",
+    ),
+];
+
+fn roundtrip(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    request: &str,
+) -> std::io::Result<String> {
+    println!("→ {request}");
+    writer.write_all(request.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut response = String::new();
+    reader.read_line(&mut response)?;
+    let response = response.trim_end().to_string();
+    println!("← {response}\n");
+    Ok(response)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small untrained model keeps the demo instant; swap in
+    // `Engine::from_checkpoint_file("model.json")?` to serve real weights.
+    let engine = Engine::builder()
+        .model(DeepGateConfig {
+            hidden_dim: 16,
+            num_iterations: 3,
+            regressor_hidden: 8,
+            ..DeepGateConfig::default()
+        })
+        .build()?;
+
+    // Every batching knob in one place; port 0 = ephemeral.
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_batch: 8,
+        batch_window: Duration::from_millis(2),
+        queue_depth: 256,
+        workers: 2,
+        cache_capacity: 32,
+    };
+    let server = Server::start(engine, config)?;
+    println!("deepgate-serve listening on {}\n", server.local_addr());
+
+    let stream = TcpStream::connect(server.local_addr())?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+
+    // Predictions: one request per circuit, plus a repeat of the first to
+    // show the structural cache (watch `cache.hits` in the stats below).
+    for (index, (name, bench)) in CIRCUITS
+        .iter()
+        .enumerate()
+        .chain(std::iter::once((CIRCUITS.len(), &CIRCUITS[0])))
+    {
+        let mut request = std::collections::BTreeMap::new();
+        request.insert("id".to_string(), serde_json::Value::UInt(index as u64));
+        request.insert("name".to_string(), serde_json::Value::Str(name.to_string()));
+        request.insert(
+            "bench".to_string(),
+            serde_json::Value::Str(bench.to_string()),
+        );
+        let line = serde_json::to_string(&serde_json::Value::Object(request))?;
+        let response = roundtrip(&mut reader, &mut writer, &line)?;
+        assert!(
+            response.contains("probs"),
+            "expected predictions, got: {response}"
+        );
+    }
+
+    // The stats verb: batching, cache and connection counters.
+    roundtrip(&mut reader, &mut writer, r#"{"id": "s", "op": "stats"}"#)?;
+
+    // Graceful shutdown: the verb is acknowledged, then the server drains.
+    roundtrip(&mut reader, &mut writer, r#"{"id": "q", "op": "shutdown"}"#)?;
+    server.wait();
+    println!("server drained cleanly");
+    Ok(())
+}

@@ -212,6 +212,20 @@ impl Engine {
         EngineBuilder::new()
     }
 
+    /// Restores an engine (default pipeline settings) from a checkpoint file
+    /// written by [`Engine::save_checkpoint`] — the one-call loading path of
+    /// the `deepgate-serve` CLI.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepGateError::Io`] if the file cannot be read,
+    /// [`DeepGateError::Nn`] for malformed checkpoints and
+    /// [`DeepGateError::Config`] if the checkpoint does not fit the default
+    /// (AIG-transforming) pipeline.
+    pub fn from_checkpoint_file(path: impl AsRef<Path>) -> Result<Engine, DeepGateError> {
+        Engine::builder().from_checkpoint_file(path)?.build()
+    }
+
     /// The model hyper-parameters.
     pub fn model_config(&self) -> DeepGateConfig {
         self.model.config()
@@ -266,6 +280,44 @@ impl Engine {
             })
             .collect();
         graphs
+    }
+
+    /// Ingests circuits from a source for *serving*: the same (optional) AIG
+    /// transformation, optimisation and graph encoding as [`Engine::prepare`],
+    /// but without the simulation labelling pass — predictions do not need
+    /// labels, and skipping simulation keeps request preparation cheap. This
+    /// is the ingestion path of the `deepgate-serve` subsystem.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source and AIG errors as [`DeepGateError`].
+    pub fn prepare_unlabelled(
+        &self,
+        source: &dyn CircuitSource,
+    ) -> Result<Vec<CircuitGraph>, DeepGateError> {
+        let netlists = source.netlists()?;
+        let pipeline = self.pipeline;
+        netlists
+            .par_iter()
+            .map(|netlist| {
+                if pipeline.transform_to_aig {
+                    let aig = Aig::from_netlist(netlist)?;
+                    let aig = if pipeline.optimize {
+                        opt::optimize(&aig, pipeline.optimize_rounds)
+                    } else {
+                        aig
+                    };
+                    let (graph, _) = CircuitGraph::from_aig(&aig);
+                    Ok(graph)
+                } else {
+                    Ok(CircuitGraph::from_netlist(
+                        netlist,
+                        FeatureEncoding::AllGates,
+                        None,
+                    ))
+                }
+            })
+            .collect()
     }
 
     /// Trains the model on prepared circuits (fresh Adam state per call),

@@ -63,6 +63,12 @@
 //! - [`gnn`] — DAG-GNN framework and the baseline model zoo.
 //! - [`core`] — the DeepGate model, trainer and evaluation metrics.
 //! - [`dataset`] — benchmark-suite generators and the dataset pipeline.
+//!
+//! The `deepgate-serve` crate (`crates/serve`) layers a concurrent
+//! inference server on top of this facade: dynamic micro-batching over
+//! [`InferenceSession`], a structural circuit cache keyed by
+//! [`gnn::CircuitGraph::fingerprint`], and a newline-delimited-JSON TCP
+//! front end.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -114,6 +114,23 @@ impl InferenceSession {
     /// [`DeepGateError::Gnn`] if the circuits do not share one feature
     /// encoding.
     pub fn prepare_batch(&self, circuits: &[CircuitGraph]) -> Result<PreparedBatch, DeepGateError> {
+        let refs: Vec<&CircuitGraph> = circuits.iter().collect();
+        self.prepare_batch_refs(&refs)
+    }
+
+    /// [`InferenceSession::prepare_batch`] over borrowed circuits — the
+    /// serving layer batches cached `Arc<CircuitGraph>`s without cloning
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepGateError::EmptyBatch`] for an empty batch and
+    /// [`DeepGateError::Gnn`] if the circuits do not share one feature
+    /// encoding.
+    pub fn prepare_batch_refs(
+        &self,
+        circuits: &[&CircuitGraph],
+    ) -> Result<PreparedBatch, DeepGateError> {
         if circuits.is_empty() {
             return Err(DeepGateError::EmptyBatch);
         }
@@ -123,8 +140,7 @@ impl InferenceSession {
             .collect::<Vec<_>>()
             .par_iter()
             .map(|chunk| {
-                let members: Vec<&CircuitGraph> = chunk.iter().collect();
-                let (union, _) = CircuitGraph::disjoint_union(&members)?;
+                let (union, _) = CircuitGraph::disjoint_union(chunk)?;
                 let plan = self.model.plan(&union);
                 Ok(BatchChunk {
                     plan,

@@ -253,7 +253,9 @@ mod tests {
     #[test]
     fn bench_text_parses() {
         let source = BenchText::new("and2", AND2);
-        let netlists = source.netlists().unwrap();
+        let netlists = source
+            .netlists()
+            .expect("the AND2 bench fixture should parse");
         assert_eq!(netlists.len(), 1);
         assert_eq!(netlists[0].num_inputs(), 2);
         assert!(source.describe().contains("and2"));
@@ -276,7 +278,9 @@ mod tests {
     #[test]
     fn suite_source_generates_requested_count() {
         let source = SuiteSource::new(SuiteKind::Epfl, 3).seed(7).size_scale(0.1);
-        let netlists = source.netlists().unwrap();
+        let netlists = source
+            .netlists()
+            .expect("the EPFL suite generator fixture should yield netlists");
         assert_eq!(netlists.len(), 3);
         assert!(netlists.iter().all(|n| n.num_gates() > 0));
     }
@@ -285,7 +289,9 @@ mod tests {
     fn netlist_source_passes_through() {
         let netlist = deepgate_dataset::generators::parity_tree(4);
         let source: NetlistSource = netlist.clone().into();
-        let out = source.netlists().unwrap();
+        let out = source
+            .netlists()
+            .expect("the parity_tree(4) fixture should pass through unchanged");
         assert_eq!(out[0].num_gates(), netlist.num_gates());
     }
 }

@@ -281,6 +281,56 @@ fn batched_predictions_agree_with_single_circuit_predictions() {
 }
 
 #[test]
+fn predict_batch_results_are_index_aligned_with_inputs() {
+    // The batch is split into per-worker union chunks that finish in
+    // arbitrary order; results must nevertheless come back index-aligned
+    // with the inputs. Circuits of distinct sizes make any permutation
+    // detectable by length alone, and values are checked against the
+    // single-circuit path for exact identity.
+    let engine = quick_engine();
+    let mut circuits = Vec::new();
+    for (i, count) in [(0u64, 4usize), (1, 2), (2, 5), (3, 1), (4, 3)] {
+        circuits.extend(
+            engine
+                .prepare(
+                    &SuiteSource::new(SuiteKind::Epfl, count)
+                        .seed(100 + i)
+                        .size_scale(0.08),
+                )
+                .unwrap(),
+        );
+    }
+    // Distinct node counts guarantee misrouting would change lengths.
+    let sizes: Vec<usize> = circuits.iter().map(|c| c.num_nodes).collect();
+    assert!(sizes.iter().any(|&s| s != sizes[0]), "sizes must vary");
+
+    let session = engine.into_session();
+    let batch = session.predict_batch(&circuits).unwrap();
+    assert_eq!(batch.len(), circuits.len());
+    for (index, (circuit, predictions)) in circuits.iter().zip(&batch).enumerate() {
+        assert_eq!(
+            predictions.len(),
+            circuit.num_nodes,
+            "result {index} is not aligned with input {index}"
+        );
+        let single = session.predict(circuit).unwrap();
+        assert_eq!(
+            &single, predictions,
+            "result {index} differs from the single-circuit path"
+        );
+    }
+
+    // The prepared/steady-state path preserves the same order across
+    // repeated calls into reused buffers.
+    let prepared = session.prepare_batch(&circuits).unwrap();
+    let mut out = Vec::new();
+    for _ in 0..2 {
+        session.predict_batch_into(&prepared, &mut out).unwrap();
+        assert_eq!(out, batch);
+    }
+}
+
+#[test]
 fn prepared_batches_reuse_buffers_and_agree_with_fresh_predictions() {
     let engine = quick_engine();
     let circuits = engine
