@@ -11,8 +11,35 @@ pub enum AigNodeKind {
     ConstFalse,
     /// A primary input.
     Input,
+    /// The current-state output of a latch (sequential state element).
+    ///
+    /// In the combinational view a latch node behaves like a primary input:
+    /// it has no fan-ins and its value is free. Its next-state function and
+    /// reset value live in the latch table ([`Aig::latches`]); the ingestion
+    /// policies ([`Aig::cut_latches`], [`Aig::unroll`]) eliminate latch
+    /// nodes before a circuit reaches the learning pipeline.
+    Latch,
     /// A 2-input AND node.
     And,
+}
+
+/// One sequential state element of an [`Aig`].
+///
+/// `state` names the [`AigNodeKind::Latch`] node that carries the latch's
+/// current-state value through the combinational logic; `next` is the
+/// literal latched at every clock edge; `init` is the reset value
+/// (`Some(false)`/`Some(true)`) or `None` for an uninitialised latch, the
+/// three-way semantics of AIGER 1.9.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AigLatch {
+    /// Node index of the latch's current-state node.
+    pub state: usize,
+    /// The next-state literal.
+    pub next: AigLit,
+    /// Reset value; `None` means uninitialised.
+    pub init: Option<bool>,
+    /// Latch name (from an AIGER symbol table, or generated).
+    pub name: String,
 }
 
 /// One node of an [`Aig`].
@@ -31,6 +58,8 @@ pub struct AigNode {
 pub struct AigStats {
     /// Number of primary inputs.
     pub num_inputs: usize,
+    /// Number of latches (sequential state elements).
+    pub num_latches: usize,
     /// Number of AND nodes.
     pub num_ands: usize,
     /// Number of primary outputs.
@@ -58,6 +87,7 @@ pub struct Aig {
     nodes: Vec<AigNode>,
     inputs: Vec<usize>,
     input_names: Vec<String>,
+    latches: Vec<AigLatch>,
     outputs: Vec<(AigLit, String)>,
     #[serde(skip)]
     strash: HashMap<(AigLit, AigLit), usize>,
@@ -75,6 +105,7 @@ impl Aig {
             }],
             inputs: Vec::new(),
             input_names: Vec::new(),
+            latches: Vec::new(),
             outputs: Vec::new(),
             strash: HashMap::new(),
         }
@@ -116,6 +147,21 @@ impl Aig {
     /// Number of primary outputs.
     pub fn num_outputs(&self) -> usize {
         self.outputs.len()
+    }
+
+    /// Number of latches.
+    pub fn num_latches(&self) -> usize {
+        self.latches.len()
+    }
+
+    /// The latch table, in declaration order.
+    pub fn latches(&self) -> &[AigLatch] {
+        &self.latches
+    }
+
+    /// Returns `true` when the AIG holds no latches (purely combinational).
+    pub fn is_combinational(&self) -> bool {
+        self.latches.is_empty()
     }
 
     /// Node indices of the primary inputs, in declaration order.
@@ -163,6 +209,52 @@ impl Aig {
     /// Marks a literal as a primary output.
     pub fn add_output(&mut self, lit: AigLit, name: impl Into<String>) {
         self.outputs.push((lit, name.into()));
+    }
+
+    /// Adds a latch (reset to 0, next state constant-false until
+    /// [`Aig::set_latch_next`] is called) and returns the positive literal of
+    /// its current-state node.
+    pub fn add_latch(&mut self, name: impl Into<String>) -> AigLit {
+        let index = self.nodes.len();
+        self.nodes.push(AigNode {
+            kind: AigNodeKind::Latch,
+            fanin0: AigLit::FALSE,
+            fanin1: AigLit::FALSE,
+        });
+        self.latches.push(AigLatch {
+            state: index,
+            next: AigLit::FALSE,
+            init: Some(false),
+            name: name.into(),
+        });
+        AigLit::positive(index)
+    }
+
+    /// Sets the next-state literal of the `i`-th latch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_latch_next(&mut self, i: usize, next: AigLit) {
+        self.latches[i].next = next;
+    }
+
+    /// Sets the reset value of the `i`-th latch (`None` = uninitialised).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_latch_init(&mut self, i: usize, init: Option<bool>) {
+        self.latches[i].init = init;
+    }
+
+    /// Renames the `i`-th latch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_latch_name(&mut self, i: usize, name: impl Into<String>) {
+        self.latches[i].name = name.into();
     }
 
     /// Renames the `i`-th primary input.
@@ -371,6 +463,9 @@ impl Aig {
         for (lit, _) in &self.outputs {
             counts[lit.node()] += 1;
         }
+        for latch in &self.latches {
+            counts[latch.next.node()] += 1;
+        }
         counts
     }
 
@@ -392,6 +487,7 @@ impl Aig {
         let fanouts = self.fanout_counts();
         AigStats {
             num_inputs: self.num_inputs(),
+            num_latches: self.num_latches(),
             num_ands: self.num_ands(),
             num_outputs: self.num_outputs(),
             depth,
@@ -405,6 +501,11 @@ impl Aig {
     /// Complemented edges are materialised as `NOT` gates (one per distinct
     /// complemented source node), which yields exactly the three-symbol node
     /// alphabet (PI, AND, NOT) the DeepGate model consumes.
+    ///
+    /// Latch current-state nodes become pseudo primary inputs (the implicit
+    /// combinational view); next-state functions are *not* exported as
+    /// outputs. Apply [`Aig::cut_latches`] first to keep next-state cones
+    /// observable, or [`Aig::unroll`] for a time-expanded view.
     pub fn to_netlist(&self) -> Netlist {
         let mut out = Netlist::new(self.name.clone());
         // Map each AIG node index to its netlist node.
@@ -418,6 +519,10 @@ impl Aig {
         for (i, input_idx) in self.inputs.iter().enumerate() {
             let id = out.add_input(self.input_names[i].clone());
             node_map[*input_idx] = Some(id);
+        }
+        for latch in &self.latches {
+            let id = out.add_input(latch.name.clone());
+            node_map[latch.state] = Some(id);
         }
 
         // Resolve a literal to a netlist node, creating NOT/const nodes on
@@ -488,12 +593,109 @@ impl Aig {
         out
     }
 
-    /// Rebuilds the structural-hash table (needed after deserialisation).
+    /// Cuts every latch boundary, producing a purely combinational AIG — the
+    /// paper's combinational-cone treatment of sequential circuits.
+    ///
+    /// Each latch's current-state node becomes a pseudo primary input (same
+    /// name), and each next-state function becomes a pseudo primary output
+    /// (`<name>_next`), so both the fan-out cone of the state and the fan-in
+    /// cone of the next-state function stay observable. Combinational AIGs
+    /// come back as a plain (re-strashed) copy.
+    pub fn cut_latches(&self) -> Aig {
+        let mut out = Aig::new(self.name.clone());
+        let mut map: Vec<AigLit> = vec![AigLit::FALSE; self.nodes.len()];
+        for (pos, &idx) in self.inputs.iter().enumerate() {
+            map[idx] = out.add_input(self.input_names[pos].clone());
+        }
+        for latch in &self.latches {
+            map[latch.state] = out.add_input(latch.name.clone());
+        }
+        for (i, node) in self.iter() {
+            if node.kind == AigNodeKind::And {
+                let a = resolve_mapped(&map, node.fanin0);
+                let b = resolve_mapped(&map, node.fanin1);
+                map[i] = out.and(a, b);
+            }
+        }
+        for (lit, name) in &self.outputs {
+            out.add_output(resolve_mapped(&map, *lit), name.clone());
+        }
+        for latch in &self.latches {
+            out.add_output(
+                resolve_mapped(&map, latch.next),
+                format!("{}_next", latch.name),
+            );
+        }
+        out
+    }
+
+    /// Unrolls the sequential circuit over `frames` time frames into one
+    /// combinational AIG.
+    ///
+    /// Frame 0 sees every latch at its reset value (uninitialised latches
+    /// become fresh pseudo-inputs named `<name>@init`); frame `t > 0` sees
+    /// frame `t-1`'s next-state literal. Primary inputs and outputs are
+    /// replicated per frame as `<name>@t`, keeping every frame's outputs
+    /// observable. Combinational AIGs come back as a single-frame copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AigError::InvalidNetlist`] if `frames` is 0.
+    pub fn unroll(&self, frames: usize) -> Result<Aig, AigError> {
+        if frames == 0 {
+            return Err(AigError::InvalidNetlist(
+                "unroll requires at least one frame".into(),
+            ));
+        }
+        let mut out = Aig::new(self.name.clone());
+        // Current-state literal of each latch entering the frame being built.
+        let mut state: Vec<AigLit> = Vec::with_capacity(self.latches.len());
+        for latch in &self.latches {
+            state.push(match latch.init {
+                Some(false) => AigLit::FALSE,
+                Some(true) => AigLit::TRUE,
+                None => out.add_input(format!("{}@init", latch.name)),
+            });
+        }
+        for frame in 0..frames {
+            let mut map: Vec<AigLit> = vec![AigLit::FALSE; self.nodes.len()];
+            for (pos, &idx) in self.inputs.iter().enumerate() {
+                map[idx] = out.add_input(format!("{}@{frame}", self.input_names[pos]));
+            }
+            for (j, latch) in self.latches.iter().enumerate() {
+                map[latch.state] = state[j];
+            }
+            for (i, node) in self.iter() {
+                if node.kind == AigNodeKind::And {
+                    let a = resolve_mapped(&map, node.fanin0);
+                    let b = resolve_mapped(&map, node.fanin1);
+                    map[i] = out.and(a, b);
+                }
+            }
+            for (lit, name) in &self.outputs {
+                out.add_output(resolve_mapped(&map, *lit), format!("{name}@{frame}"));
+            }
+            for (j, latch) in self.latches.iter().enumerate() {
+                state[j] = resolve_mapped(&map, latch.next);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rebuilds the structural-hash table (needed after deserialisation or
+    /// AIGER parsing). Keys are canonicalised to the `(lo, hi)` fan-in order
+    /// [`Aig::and`] looks up, so raw-pushed nodes with swapped fan-ins still
+    /// deduplicate future construction.
     pub fn rebuild_strash(&mut self) {
         self.strash.clear();
         for (i, node) in self.nodes.iter().enumerate() {
             if node.kind == AigNodeKind::And {
-                self.strash.insert((node.fanin0, node.fanin1), i);
+                let (lo, hi) = if node.fanin0.raw() <= node.fanin1.raw() {
+                    (node.fanin0, node.fanin1)
+                } else {
+                    (node.fanin1, node.fanin0)
+                };
+                self.strash.insert((lo, hi), i);
             }
         }
     }
@@ -510,6 +712,7 @@ impl Aig {
                 "node 0 must be the constant-false node".into(),
             ));
         }
+        let mut latch_nodes = 0usize;
         for (i, node) in self.iter().skip(1) {
             match node.kind {
                 AigNodeKind::ConstFalse => {
@@ -518,6 +721,7 @@ impl Aig {
                     )))
                 }
                 AigNodeKind::Input => {}
+                AigNodeKind::Latch => latch_nodes += 1,
                 AigNodeKind::And => {
                     if node.fanin0.node() >= i || node.fanin1.node() >= i {
                         return Err(AigError::InvalidNetlist(format!(
@@ -527,12 +731,43 @@ impl Aig {
                 }
             }
         }
+        if latch_nodes != self.latches.len() {
+            return Err(AigError::InvalidNetlist(format!(
+                "{} latch nodes but {} latch table entries",
+                latch_nodes,
+                self.latches.len()
+            )));
+        }
+        for (j, latch) in self.latches.iter().enumerate() {
+            if latch.state >= self.nodes.len() || self.nodes[latch.state].kind != AigNodeKind::Latch
+            {
+                return Err(AigError::InvalidNetlist(format!(
+                    "latch {j} state node {} is not a latch node",
+                    latch.state
+                )));
+            }
+            if latch.next.node() >= self.nodes.len() {
+                return Err(AigError::UnknownNode(latch.next.node()));
+            }
+        }
         for (lit, _) in &self.outputs {
             if lit.node() >= self.nodes.len() {
                 return Err(AigError::UnknownNode(lit.node()));
             }
         }
         Ok(())
+    }
+}
+
+/// Translates `lit` through a node-index → literal map, preserving the
+/// complement bit. XOR semantics: a complemented reference to a node whose
+/// mapped literal is itself complemented resolves to the positive form.
+fn resolve_mapped(map: &[AigLit], lit: AigLit) -> AigLit {
+    let base = map[lit.node()];
+    if lit.is_complemented() {
+        base.complement()
+    } else {
+        base
     }
 }
 
@@ -704,5 +939,86 @@ mod tests {
         aig.rebuild_strash();
         let g2 = aig.and(a, b);
         assert_eq!(g1, g2);
+    }
+
+    /// A toggle flip-flop: `q' = q XOR en`, output `y = q`.
+    fn toggle_aig() -> Aig {
+        let mut aig = Aig::new("toggle");
+        let en = aig.add_input("en");
+        let q = aig.add_latch("q");
+        let next = aig.xor(q, en);
+        aig.set_latch_next(0, next);
+        aig.add_output(q, "y");
+        aig
+    }
+
+    #[test]
+    fn latch_accessors_and_stats() {
+        let aig = toggle_aig();
+        assert_eq!(aig.num_latches(), 1);
+        assert!(!aig.is_combinational());
+        assert_eq!(aig.latches()[0].name, "q");
+        assert_eq!(aig.latches()[0].init, Some(false));
+        assert_eq!(aig.stats().num_latches, 1);
+        assert!(aig.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_latch_table() {
+        let mut aig = toggle_aig();
+        aig.latches.clear();
+        assert!(aig.validate().is_err());
+    }
+
+    #[test]
+    fn cut_latches_exposes_state_and_next() {
+        let aig = toggle_aig();
+        let cut = aig.cut_latches();
+        assert!(cut.is_combinational());
+        assert_eq!(cut.num_inputs(), 2); // en + pseudo-input q
+        assert_eq!(cut.num_outputs(), 2); // y + q_next
+        assert!(cut.outputs().iter().any(|(_, n)| n == "q_next"));
+        assert!(cut.validate().is_ok());
+    }
+
+    #[test]
+    fn unroll_replicates_io_per_frame() {
+        let aig = toggle_aig();
+        let unrolled = aig.unroll(3).expect("3 frames");
+        assert!(unrolled.is_combinational());
+        assert_eq!(unrolled.num_inputs(), 3); // en@0..en@2
+        assert_eq!(unrolled.num_outputs(), 3); // y@0..y@2
+        assert!(unrolled.outputs().iter().any(|(_, n)| n == "y@2"));
+        // Frame 0 sees the reset value, so y@0 is the constant false.
+        let y0 = unrolled
+            .outputs()
+            .iter()
+            .find(|(_, n)| n == "y@0")
+            .expect("y@0 present");
+        assert_eq!(y0.0, AigLit::FALSE);
+        assert!(unrolled.validate().is_ok());
+    }
+
+    #[test]
+    fn unroll_uninitialised_latch_gets_init_input() {
+        let mut aig = toggle_aig();
+        aig.set_latch_init(0, None);
+        let unrolled = aig.unroll(2).expect("2 frames");
+        assert_eq!(unrolled.num_inputs(), 3); // q@init + en@0 + en@1
+        assert!(unrolled.validate().is_ok());
+    }
+
+    #[test]
+    fn unroll_zero_frames_errors() {
+        assert!(toggle_aig().unroll(0).is_err());
+    }
+
+    #[test]
+    fn to_netlist_treats_latch_as_pseudo_input() {
+        let aig = toggle_aig();
+        let n = aig.to_netlist();
+        assert!(n.validate().is_ok());
+        assert_eq!(n.num_inputs(), 2); // en + q
+        assert_eq!(n.num_outputs(), 1); // y only: next-state cone not exported
     }
 }

@@ -19,6 +19,8 @@ pub enum AigError {
     },
     /// The AIGER header is inconsistent with the body.
     HeaderMismatch(String),
+    /// An AIGER read or write failed (see [`crate::aiger::AigerError`]).
+    Aiger(crate::aiger::AigerError),
 }
 
 impl fmt::Display for AigError {
@@ -31,7 +33,14 @@ impl fmt::Display for AigError {
                 write!(f, "aiger parse error at line {line}: {message}")
             }
             AigError::HeaderMismatch(msg) => write!(f, "aiger header mismatch: {msg}"),
+            AigError::Aiger(err) => write!(f, "{err}"),
         }
+    }
+}
+
+impl From<crate::aiger::AigerError> for AigError {
+    fn from(err: crate::aiger::AigerError) -> Self {
+        AigError::Aiger(err)
     }
 }
 

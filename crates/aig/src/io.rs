@@ -1,205 +1,42 @@
-//! AIGER-ASCII (`aag`) reader and writer.
+//! Combinational AIGER-ASCII (`aag`) convenience wrappers.
 //!
-//! The AIGER format is the de-facto interchange format for And-Inverter
-//! Graphs. Only the combinational subset is supported (no latches), matching
-//! the combinational circuits DeepGate operates on.
+//! These entry points predate the full [`crate::aiger`] subsystem and keep
+//! its combinational contract: parsing rejects sequential circuits, matching
+//! the combinational graphs the DeepGate training front-end operates on. All
+//! reading and writing delegates to [`crate::aiger`], so both paths share
+//! one canonical serialisation and one panic-free parser. For latch-aware
+//! I/O (including binary `.aig`) use [`crate::aiger`] directly.
 
 use crate::{Aig, AigError, AigLit, AigNodeKind};
-use std::fmt::Write as _;
 
-/// Serialises an [`Aig`] to AIGER-ASCII text (`aag` header, no latches).
+/// Serialises an [`Aig`] to AIGER-ASCII text (canonical variable numbering,
+/// full symbol table). Equivalent to [`crate::aiger::write_aag`].
 pub fn write_aag(aig: &Aig) -> String {
-    // AIGER requires variables numbered 1..=M with inputs first, then ANDs.
-    // Our internal indices already satisfy that layout (0 = const, inputs,
-    // then ANDs), so variable i maps to node i.
-    let m = aig.len() - 1;
-    let i = aig.num_inputs();
-    let a = aig.num_ands();
-    let o = aig.num_outputs();
-    let mut out = String::new();
-    let _ = writeln!(out, "aag {m} {i} 0 {o} {a}");
-    for &input in aig.inputs() {
-        let _ = writeln!(out, "{}", AigLit::positive(input).raw());
-    }
-    for (lit, _) in aig.outputs() {
-        let _ = writeln!(out, "{}", lit.raw());
-    }
-    for (idx, node) in aig.iter() {
-        if node.kind == AigNodeKind::And {
-            let _ = writeln!(
-                out,
-                "{} {} {}",
-                AigLit::positive(idx).raw(),
-                node.fanin0.raw(),
-                node.fanin1.raw()
-            );
-        }
-    }
-    // Symbol table for inputs and outputs, then a comment with the name.
-    for (pos, _) in aig.inputs().iter().enumerate() {
-        let _ = writeln!(out, "i{pos} {}", aig.input_name(pos));
-    }
-    for (pos, (_, name)) in aig.outputs().iter().enumerate() {
-        let _ = writeln!(out, "o{pos} {name}");
-    }
-    let _ = writeln!(out, "c\n{}", aig.name());
-    out
+    crate::aiger::write_aag(aig)
 }
 
-/// Parses AIGER-ASCII text into an [`Aig`].
+/// Parses AIGER-ASCII text into a combinational [`Aig`].
 ///
 /// # Errors
 ///
-/// Returns [`AigError::Parse`] for malformed input and
-/// [`AigError::HeaderMismatch`] when the header counts disagree with the
-/// body. Latches are not supported and produce a parse error.
+/// Returns [`AigError::Aiger`] for malformed input and
+/// [`AigError::UnsupportedGate`] if the circuit contains latches — use
+/// [`crate::aiger::parse_aag`] plus a [`crate::LatchPolicy`] to ingest
+/// sequential circuits.
 pub fn parse_aag(text: &str, name: impl Into<String>) -> Result<Aig, AigError> {
-    let mut lines = text.lines().enumerate();
-    let (_, header) = lines.next().ok_or(AigError::Parse {
-        line: 1,
-        message: "empty file".into(),
-    })?;
-    let parts: Vec<&str> = header.split_whitespace().collect();
-    if parts.len() != 6 || parts[0] != "aag" {
-        return Err(AigError::Parse {
-            line: 1,
-            message: "expected header `aag M I L O A`".into(),
-        });
-    }
-    let parse_num = |s: &str, line: usize| -> Result<usize, AigError> {
-        s.parse().map_err(|_| AigError::Parse {
-            line,
-            message: format!("invalid number `{s}`"),
-        })
-    };
-    let m = parse_num(parts[1], 1)?;
-    let i = parse_num(parts[2], 1)?;
-    let l = parse_num(parts[3], 1)?;
-    let o = parse_num(parts[4], 1)?;
-    let a = parse_num(parts[5], 1)?;
-    if l != 0 {
-        return Err(AigError::Parse {
-            line: 1,
-            message: "latches are not supported".into(),
-        });
-    }
-    if m != i + a {
-        return Err(AigError::HeaderMismatch(format!(
-            "M = {m} but I + A = {}",
-            i + a
+    let aig = crate::aiger::parse_aag(text, name)?;
+    if !aig.is_combinational() {
+        return Err(AigError::UnsupportedGate(format!(
+            "circuit has {} latches; apply a LatchPolicy via crate::aiger",
+            aig.num_latches()
         )));
     }
-
-    let mut aig = Aig::new(name);
-    let mut input_lits = Vec::with_capacity(i);
-    for k in 0..i {
-        let (line_no, line) = lines.next().ok_or(AigError::Parse {
-            line: k + 2,
-            message: "missing input line".into(),
-        })?;
-        let raw = parse_num(line.trim(), line_no + 1)? as u32;
-        if !raw.is_multiple_of(2) {
-            return Err(AigError::Parse {
-                line: line_no + 1,
-                message: "input literal must be even".into(),
-            });
-        }
-        input_lits.push(raw);
-        let lit = aig.add_input(format!("i{k}"));
-        if lit.raw() != raw {
-            return Err(AigError::HeaderMismatch(format!(
-                "input {k} expected literal {} got {raw}",
-                lit.raw()
-            )));
-        }
-    }
-    let mut output_lits = Vec::with_capacity(o);
-    for k in 0..o {
-        let (line_no, line) = lines.next().ok_or(AigError::Parse {
-            line: k + 2 + i,
-            message: "missing output line".into(),
-        })?;
-        output_lits.push(parse_num(line.trim(), line_no + 1)? as u32);
-    }
-    for k in 0..a {
-        let (line_no, line) = lines.next().ok_or(AigError::Parse {
-            line: k + 2 + i + o,
-            message: "missing and line".into(),
-        })?;
-        let nums: Vec<&str> = line.split_whitespace().collect();
-        if nums.len() != 3 {
-            return Err(AigError::Parse {
-                line: line_no + 1,
-                message: "and line must have three literals".into(),
-            });
-        }
-        let lhs = parse_num(nums[0], line_no + 1)? as u32;
-        let rhs0 = parse_num(nums[1], line_no + 1)? as u32;
-        let rhs1 = parse_num(nums[2], line_no + 1)? as u32;
-        let expected = AigLit::positive(aig.len());
-        if lhs != expected.raw() {
-            return Err(AigError::HeaderMismatch(format!(
-                "and {k}: expected lhs {} got {lhs}",
-                expected.raw()
-            )));
-        }
-        let f0 = AigLit::from_raw(rhs0);
-        let f1 = AigLit::from_raw(rhs1);
-        if f0.node() >= expected.node() || f1.node() >= expected.node() {
-            return Err(AigError::Parse {
-                line: line_no + 1,
-                message: "and fan-in references a later node".into(),
-            });
-        }
-        // Bypass simplification: push the node verbatim to preserve indices.
-        aig.push_raw_and(f0, f1);
-    }
-    // Symbol table (optional): iN / oN names.
-    let mut input_names: Vec<Option<String>> = vec![None; i];
-    let mut output_names: Vec<Option<String>> = vec![None; o];
-    for (_, line) in lines {
-        let line = line.trim();
-        if line == "c" {
-            break;
-        }
-        if let Some(rest) = line.strip_prefix('i') {
-            if let Some((idx, name)) = rest.split_once(' ') {
-                if let Ok(idx) = idx.parse::<usize>() {
-                    if idx < i {
-                        input_names[idx] = Some(name.to_string());
-                    }
-                }
-            }
-        } else if let Some(rest) = line.strip_prefix('o') {
-            if let Some((idx, name)) = rest.split_once(' ') {
-                if let Ok(idx) = idx.parse::<usize>() {
-                    if idx < o {
-                        output_names[idx] = Some(name.to_string());
-                    }
-                }
-            }
-        }
-    }
-    for (k, raw) in output_lits.into_iter().enumerate() {
-        let lit = AigLit::from_raw(raw);
-        if lit.node() >= aig.len() {
-            return Err(AigError::UnknownNode(lit.node()));
-        }
-        let name = output_names[k].clone().unwrap_or_else(|| format!("o{k}"));
-        aig.add_output(lit, name);
-    }
-    for (k, name) in input_names.into_iter().enumerate() {
-        if let Some(name) = name {
-            aig.set_input_name(k, name);
-        }
-    }
-    aig.rebuild_strash();
     Ok(aig)
 }
 
 impl Aig {
     /// Appends an AND node verbatim (no simplification, no strashing). Used
-    /// by the AIGER parser to preserve literal numbering.
+    /// by the AIGER parsers to preserve literal numbering.
     pub(crate) fn push_raw_and(&mut self, fanin0: AigLit, fanin1: AigLit) -> AigLit {
         let index = self.len();
         self.push_node(AigNodeKind::And, fanin0, fanin1);
@@ -227,7 +64,7 @@ mod tests {
     fn roundtrip_aag() {
         let aig = sample_aig();
         let text = write_aag(&aig);
-        let parsed = parse_aag(&text, "sample").unwrap();
+        let parsed = parse_aag(&text, "sample").expect("own output reparses");
         assert!(parsed.validate().is_ok());
         assert_eq!(parsed.num_inputs(), aig.num_inputs());
         assert_eq!(parsed.num_ands(), aig.num_ands());
@@ -242,13 +79,24 @@ mod tests {
     fn parse_rejects_bad_header() {
         assert!(parse_aag("", "x").is_err());
         assert!(parse_aag("aig 1 1 0 0 0\n", "x").is_err());
-        assert!(parse_aag("aag 1 1 1 0 0\n2\n", "x").is_err()); // latches
+        assert!(parse_aag("aag 1 1 1 0 0\n2\n", "x").is_err()); // M != I+L+A
         assert!(parse_aag("aag 5 1 0 0 1\n2\n", "x").is_err()); // M mismatch
     }
 
     #[test]
+    fn parse_rejects_latches() {
+        // A valid sequential file must be refused by the combinational entry
+        // point with the UnsupportedGate variant.
+        let text = "aag 1 0 1 1 0\n2 2\n2\n";
+        assert!(matches!(
+            parse_aag(text, "x"),
+            Err(AigError::UnsupportedGate(_))
+        ));
+    }
+
+    #[test]
     fn parse_rejects_forward_reference() {
-        // and node 2 references literal 6 (node 3) which does not exist yet.
+        // and node 2 references literal 6 (node 3) which does not exist.
         let text = "aag 2 1 0 1 1\n2\n4\n4 6 2\n";
         assert!(parse_aag(text, "x").is_err());
     }
@@ -256,7 +104,7 @@ mod tests {
     #[test]
     fn parse_minimal_constant_circuit() {
         let text = "aag 0 0 0 1 0\n1\n";
-        let aig = parse_aag(text, "const").unwrap();
+        let aig = parse_aag(text, "const").expect("constant circuit parses");
         assert_eq!(aig.num_outputs(), 1);
         assert_eq!(aig.outputs()[0].0, AigLit::TRUE);
     }

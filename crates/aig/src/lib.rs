@@ -18,8 +18,12 @@
 //!   logic-level distance. These records drive DeepGate's skip connections.
 //! - [`extract`] — sub-circuit (cone) extraction in a target size range,
 //!   used to build the training dataset of Table I.
-//! - [`io`] — AIGER-ASCII (`aag`) reader/writer and conversion back to an
-//!   explicit PI/AND/NOT netlist for the learning front-end.
+//! - [`aiger`] — the full AIGER subsystem: binary (`aig`) and ASCII (`aag`)
+//!   readers and writers, latch-aware, with the [`LatchPolicy`] ingestion
+//!   modes (cut latch boundaries or unroll time frames).
+//! - [`io`] — the combinational-only AIGER-ASCII convenience wrappers and
+//!   conversion back to an explicit PI/AND/NOT netlist for the learning
+//!   front-end.
 //!
 //! # Example
 //!
@@ -44,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod aig;
+pub mod aiger;
 mod error;
 pub mod extract;
 pub mod io;
@@ -51,7 +56,8 @@ mod lit;
 pub mod opt;
 pub mod recon;
 
-pub use aig::{Aig, AigNode, AigNodeKind, AigStats};
+pub use aig::{Aig, AigLatch, AigNode, AigNodeKind, AigStats};
+pub use aiger::{AigerError, LatchPolicy};
 pub use error::AigError;
 pub use lit::AigLit;
 pub use recon::{ReconvergenceAnalysis, ReconvergenceConfig, ReconvergenceInfo};

@@ -10,12 +10,13 @@
 use crate::{Aig, AigLit, AigNodeKind};
 use std::collections::HashMap;
 
-/// Removes dead AND nodes (not reachable from any primary output) and rebuilds
-/// the AIG with structural hashing applied again. Returns the new AIG and the
-/// number of removed AND nodes.
+/// Removes dead AND nodes (not reachable from any primary output or latch
+/// next-state function) and rebuilds the AIG with structural hashing applied
+/// again. Returns the new AIG and the number of removed AND nodes.
 pub fn sweep(aig: &Aig) -> (Aig, usize) {
     let mut reachable = vec![false; aig.len()];
     let mut stack: Vec<usize> = aig.outputs().iter().map(|(l, _)| l.node()).collect();
+    stack.extend(aig.latches().iter().map(|l| l.next.node()));
     while let Some(i) = stack.pop() {
         if reachable[i] {
             continue;
@@ -27,13 +28,18 @@ pub fn sweep(aig: &Aig) -> (Aig, usize) {
             stack.push(node.fanin1.node());
         }
     }
-    // Inputs are always kept to preserve the interface.
+    // Inputs and latches are always kept to preserve the interface.
     let mut out = Aig::new(aig.name());
     let mut map: HashMap<usize, AigLit> = HashMap::new();
     map.insert(0, AigLit::FALSE);
     for (pos, &idx) in aig.inputs().iter().enumerate() {
         let lit = out.add_input(aig.input_name(pos));
         map.insert(idx, lit);
+    }
+    for (j, latch) in aig.latches().iter().enumerate() {
+        let lit = out.add_latch(latch.name.clone());
+        out.set_latch_init(j, latch.init);
+        map.insert(latch.state, lit);
     }
     let mut removed = 0usize;
     for (i, node) in aig.iter() {
@@ -53,6 +59,9 @@ pub fn sweep(aig: &Aig) -> (Aig, usize) {
         let mapped = translate(&map, *lit);
         out.add_output(mapped, name.clone());
     }
+    for (j, latch) in aig.latches().iter().enumerate() {
+        out.set_latch_next(j, translate(&map, latch.next));
+    }
     (out, removed)
 }
 
@@ -67,6 +76,11 @@ pub fn balance(aig: &Aig) -> Aig {
     for (pos, &idx) in aig.inputs().iter().enumerate() {
         let lit = out.add_input(aig.input_name(pos));
         map.insert(idx, lit);
+    }
+    for (j, latch) in aig.latches().iter().enumerate() {
+        let lit = out.add_latch(latch.name.clone());
+        out.set_latch_init(j, latch.init);
+        map.insert(latch.state, lit);
     }
 
     // Collect the multi-input AND "super-gate" rooted at `root` by expanding
@@ -110,6 +124,11 @@ pub fn balance(aig: &Aig) -> Aig {
     for (lit, name) in aig.outputs() {
         let mapped = translate_or_rebuild(aig, &mut out, &mut map, *lit);
         out.add_output(mapped, name.clone());
+    }
+    for j in 0..aig.num_latches() {
+        let next = aig.latches()[j].next;
+        let mapped = translate_or_rebuild(aig, &mut out, &mut map, next);
+        out.set_latch_next(j, mapped);
     }
     out
 }

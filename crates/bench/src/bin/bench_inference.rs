@@ -9,6 +9,7 @@
 //! cargo run --release --bin bench_inference
 //! ```
 
+use deepgate::aig::aiger::{random_aig, write_aig};
 use deepgate::prelude::*;
 use deepgate_bench::Scale;
 use serde::Serialize;
@@ -26,6 +27,13 @@ struct InferenceBaseline {
     batch_prepared_ms: f64,
     speedup_batch: f64,
     speedup_prepared: f64,
+    /// Circuits in the AIGER-shaped fleet (latch-bearing binary `.aig`
+    /// payloads ingested through the AIGER path under the cut policy).
+    aiger_num_circuits: usize,
+    aiger_total_nodes: usize,
+    aiger_sequential_ms: f64,
+    aiger_batch_ms: f64,
+    speedup_aiger_batch: f64,
     worker_threads: usize,
 }
 
@@ -76,6 +84,24 @@ fn main() -> Result<(), DeepGateError> {
         rounds
     );
 
+    // An AIGER-shaped fleet: latch-bearing random AIGs serialised to binary
+    // `.aig` bytes and ingested through the AIGER path (cut policy), the way
+    // HWMCC-style clients deliver circuits to the server.
+    let aiger_count = (num_circuits / 4).max(4);
+    let mut aiger_circuits = Vec::new();
+    for i in 0..aiger_count {
+        let aig = random_aig(1_000 + i as u64, 8, 6, 160);
+        let bytes = write_aig(&aig).map_err(deepgate::aig::AigError::from)?;
+        let source = AigerBytes::new(format!("aiger_{i}"), bytes).latch_policy(LatchPolicy::Cut);
+        aiger_circuits.extend(engine.prepare(&source)?);
+    }
+    let aiger_total_nodes: usize = aiger_circuits.iter().map(|c| c.num_nodes).sum();
+    eprintln!(
+        "[bench_inference] {} AIGER circuits, {} nodes total",
+        aiger_circuits.len(),
+        aiger_total_nodes
+    );
+
     let session = engine.into_session();
 
     // Warm-up every path once before timing.
@@ -86,6 +112,10 @@ fn main() -> Result<(), DeepGateError> {
     let prepared = session.prepare_batch(&circuits)?;
     let mut out = Vec::new();
     session.predict_batch_into(&prepared, &mut out)?;
+    for circuit in &aiger_circuits {
+        let _ = session.predict(circuit)?;
+    }
+    let _ = session.predict_batch(&aiger_circuits)?;
 
     // The three paths are interleaved round by round so CPU-frequency and
     // cache drift hit all of them equally; per-path medians over the rounds
@@ -93,6 +123,8 @@ fn main() -> Result<(), DeepGateError> {
     let mut sequential_samples = Vec::with_capacity(rounds);
     let mut batch_samples = Vec::with_capacity(rounds);
     let mut prepared_samples = Vec::with_capacity(rounds);
+    let mut aiger_sequential_samples = Vec::with_capacity(rounds);
+    let mut aiger_batch_samples = Vec::with_capacity(rounds);
     for _ in 0..rounds {
         // Sequential: one predict call per circuit.
         let start = Instant::now();
@@ -111,10 +143,23 @@ fn main() -> Result<(), DeepGateError> {
         let start = Instant::now();
         session.predict_batch_into(&prepared, &mut out)?;
         prepared_samples.push(start.elapsed().as_secs_f64() * 1e3);
+
+        // The AIGER fleet, sequential and batched.
+        let start = Instant::now();
+        for circuit in &aiger_circuits {
+            let _ = session.predict(circuit)?;
+        }
+        aiger_sequential_samples.push(start.elapsed().as_secs_f64() * 1e3);
+
+        let start = Instant::now();
+        let _ = session.predict_batch(&aiger_circuits)?;
+        aiger_batch_samples.push(start.elapsed().as_secs_f64() * 1e3);
     }
     let sequential_ms = median(&mut sequential_samples);
     let batch_ms = median(&mut batch_samples);
     let batch_prepared_ms = median(&mut prepared_samples);
+    let aiger_sequential_ms = median(&mut aiger_sequential_samples);
+    let aiger_batch_ms = median(&mut aiger_batch_samples);
 
     let baseline = InferenceBaseline {
         scale: scale.label().to_string(),
@@ -126,6 +171,11 @@ fn main() -> Result<(), DeepGateError> {
         batch_prepared_ms,
         speedup_batch: sequential_ms / batch_ms,
         speedup_prepared: sequential_ms / batch_prepared_ms,
+        aiger_num_circuits: aiger_circuits.len(),
+        aiger_total_nodes,
+        aiger_sequential_ms,
+        aiger_batch_ms,
+        speedup_aiger_batch: aiger_sequential_ms / aiger_batch_ms,
         worker_threads: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
@@ -133,8 +183,10 @@ fn main() -> Result<(), DeepGateError> {
     println!(
         "sequential predict : {sequential_ms:>9.1} ms/round\n\
          predict_batch      : {batch_ms:>9.1} ms/round ({:.2}x)\n\
-         + prepared buffers : {batch_prepared_ms:>9.1} ms/round ({:.2}x)",
-        baseline.speedup_batch, baseline.speedup_prepared
+         + prepared buffers : {batch_prepared_ms:>9.1} ms/round ({:.2}x)\n\
+         aiger sequential   : {aiger_sequential_ms:>9.1} ms/round\n\
+         aiger batch        : {aiger_batch_ms:>9.1} ms/round ({:.2}x)",
+        baseline.speedup_batch, baseline.speedup_prepared, baseline.speedup_aiger_batch
     );
 
     let json = serde_json::to_string_pretty(&baseline)

@@ -1,0 +1,127 @@
+//! Minimal std-only base64 (standard alphabet, `=` padding), used to carry
+//! binary AIGER circuits inside the JSON wire protocol.
+
+use std::fmt;
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// A malformed base64 payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Base64Error(String);
+
+impl fmt::Display for Base64Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid base64: {}", self.0)
+    }
+}
+
+impl std::error::Error for Base64Error {}
+
+/// Encodes bytes as standard base64 with padding.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(triple >> 6) as usize & 0x3f] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[triple as usize & 0x3f] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+fn sextet(byte: u8) -> Result<u32, Base64Error> {
+    match byte {
+        b'A'..=b'Z' => Ok(u32::from(byte - b'A')),
+        b'a'..=b'z' => Ok(u32::from(byte - b'a') + 26),
+        b'0'..=b'9' => Ok(u32::from(byte - b'0') + 52),
+        b'+' => Ok(62),
+        b'/' => Ok(63),
+        _ => Err(Base64Error(format!("unexpected byte 0x{byte:02x}"))),
+    }
+}
+
+/// Decodes standard base64 (padding required, no embedded whitespace).
+///
+/// # Errors
+///
+/// Returns [`Base64Error`] for bad lengths, characters outside the alphabet
+/// or misplaced padding.
+pub fn decode(text: &str) -> Result<Vec<u8>, Base64Error> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(Base64Error(format!(
+            "length {} is not a multiple of 4",
+            bytes.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, quad) in bytes.chunks(4).enumerate() {
+        let last = (i + 1) * 4 == bytes.len();
+        let pad = quad.iter().rev().take_while(|&&b| b == b'=').count();
+        if pad > 2 || (pad > 0 && !last) {
+            return Err(Base64Error("misplaced padding".into()));
+        }
+        let mut triple = 0u32;
+        for &b in &quad[..4 - pad] {
+            triple = (triple << 6) | sextet(b)?;
+        }
+        triple <<= 6 * pad as u32;
+        out.push((triple >> 16) as u8);
+        if pad < 2 {
+            out.push((triple >> 8) as u8);
+        }
+        if pad == 0 {
+            out.push(triple as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg==");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn roundtrip_all_byte_values() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1021).collect();
+        assert_eq!(decode(&encode(&data)).expect("own encoding decodes"), data);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(decode("Zg=").is_err()); // bad length
+        assert!(decode("Z===").is_err()); // too much padding
+        assert!(decode("Zg==Zg==").is_err() || decode("Zg==Zg==").is_ok());
+        assert!(decode("Zm=vYg==").is_err()); // padding mid-quad rejected by sextet
+        assert!(decode("Zm 9").is_err()); // whitespace
+        assert!(decode("Zm9!").is_err()); // outside alphabet
+    }
+
+    #[test]
+    fn padding_only_at_end() {
+        assert!(decode("Zg==Zm9v").is_err());
+    }
+}

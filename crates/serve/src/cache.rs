@@ -18,6 +18,21 @@ pub fn text_key(text: &str) -> u128 {
     hasher.finish()
 }
 
+/// A 128-bit first-level cache key for non-BENCH payloads: mixes the payload
+/// *kind* (e.g. `"aiger"`), an ingestion *variant* (e.g. the latch policy,
+/// `"cut"` / `"unroll:3"`) and the raw payload bytes. The variant is part of
+/// the key because the same AIGER bytes under different latch policies
+/// produce different circuits — they must not share a cache entry. Each
+/// component is length-prefixed so `("ab","c")` and `("a","bc")` differ.
+pub fn request_key(kind: &str, variant: &str, payload: &[u8]) -> u128 {
+    let mut hasher = deepgate::gnn::StructuralHasher::new();
+    for part in [kind.as_bytes(), variant.as_bytes(), payload] {
+        hasher.write(part.len() as u64);
+        hasher.write_bytes(part);
+    }
+    hasher.finish()
+}
+
 /// A small stamp-based LRU map. Eviction scans for the oldest stamp — O(n),
 /// which is noise at serving-cache capacities (hundreds of entries) and
 /// keeps the structure simple and obviously correct.
@@ -217,5 +232,19 @@ mod tests {
         let b = text_key("INPUT(b)\n");
         assert_ne!(a, b);
         assert_eq!(a, text_key("INPUT(a)\n"));
+    }
+
+    #[test]
+    fn request_key_separates_kind_variant_and_payload() {
+        let base = request_key("aiger", "cut", b"aag 0 0 0 0 0\n");
+        assert_eq!(base, request_key("aiger", "cut", b"aag 0 0 0 0 0\n"));
+        assert_ne!(base, request_key("aiger", "unroll:2", b"aag 0 0 0 0 0\n"));
+        assert_ne!(base, request_key("bench", "cut", b"aag 0 0 0 0 0\n"));
+        assert_ne!(base, request_key("aiger", "cut", b"aag 0 0 0 0 1\n"));
+        // Length prefixing: shifting bytes between components changes the key.
+        assert_ne!(request_key("ab", "c", b"x"), request_key("a", "bc", b"x"));
+        // Payload keys never collide with the plain text-key construction by
+        // accident of layout (different preamble).
+        assert_ne!(base, text_key("aag 0 0 0 0 0\n"));
     }
 }

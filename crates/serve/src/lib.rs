@@ -37,17 +37,37 @@
 //! ← {"id": 3, "ok": true}
 //! ```
 //!
+//! A predict request carries its circuit in exactly one of three fields:
+//!
+//! - `bench` — BENCH interchange text, inline.
+//! - `aiger` — AIGER-ASCII (`.aag`) text, inline.
+//! - `aiger_b64` — a base64-encoded AIGER file, ASCII or binary (`.aig`);
+//!   the format is auto-detected from the magic. This is how binary AIGER —
+//!   which cannot ride in a JSON string — crosses the wire (see [`b64`]).
+//!
+//! AIGER payloads may be sequential; the optional `latch` field selects the
+//! ingestion policy: `"cut"` (default — latch boundaries become pseudo
+//! inputs/outputs) or `"unroll:<frames>"` (time-frame expansion). The policy
+//! is part of the cache key, so the same bytes under different policies are
+//! correctly treated as different circuits.
+//!
+//! ```text
+//! → {"id": 4, "aiger_b64": "YWlnIDU…", "latch": "unroll:3"}
+//! ← {"id": 4, "probs": [0.5, …]}
+//! ```
+//!
 //! Errors come back as `{"id": ..., "error": "..."}`; malformed lines get
 //! an `id`-less error object. See `examples/serve_demo.rs` at the workspace
 //! root for a complete client session.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod b64;
 mod cache;
 mod scheduler;
 mod server;
 
-pub use cache::{text_key, CacheStats, CircuitCache};
+pub use cache::{request_key, text_key, CacheStats, CircuitCache};
 pub use scheduler::{Scheduler, SchedulerStats};
 pub use server::{Server, ServerStats};
 

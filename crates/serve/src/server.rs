@@ -2,9 +2,10 @@
 //! persistent connections, with graceful drain on shutdown.
 
 use crate::{
-    text_key, CacheStats, CircuitCache, Scheduler, SchedulerStats, ServeConfig, ServeError,
+    b64, request_key, text_key, CacheStats, CircuitCache, Scheduler, SchedulerStats, ServeConfig,
+    ServeError,
 };
-use deepgate::{BenchText, Engine, PreparedCircuit};
+use deepgate::{AigerBytes, BenchText, Engine, LatchPolicy, PreparedCircuit};
 use serde::{Serialize, Value};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -184,17 +185,27 @@ impl Inner {
         signal.notify_all();
     }
 
-    /// Resolves request text to a prepared circuit through the two-level
-    /// structural cache; misses run the full parse → transform → encode →
-    /// plan pipeline.
-    fn resolve(&self, name: &str, bench: &str) -> Result<Arc<PreparedCircuit>, ServeError> {
-        let key = text_key(bench);
+    /// Resolves a request payload to a prepared circuit through the
+    /// two-level structural cache; misses run the full parse → transform →
+    /// encode → plan pipeline.
+    fn resolve(&self, payload: &RequestPayload) -> Result<Arc<PreparedCircuit>, ServeError> {
+        let key = payload.cache_key();
         if let Some(prepared) = self.cache.lookup_text(key) {
             return Ok(prepared);
         }
-        let circuit = self
-            .engine
-            .prepare_unlabelled(&BenchText::new(name, bench))
+        let circuits = match payload {
+            RequestPayload::Bench { name, text } => self
+                .engine
+                .prepare_unlabelled(&BenchText::new(name.as_str(), text.as_str())),
+            RequestPayload::Aiger {
+                name,
+                bytes,
+                policy,
+            } => self.engine.prepare_unlabelled(
+                &AigerBytes::new(name.as_str(), bytes.clone()).latch_policy(*policy),
+            ),
+        };
+        let circuit = circuits
             .map_err(|e| ServeError::BadRequest(e.to_string()))?
             .pop()
             .ok_or_else(|| ServeError::BadRequest("request contained no circuit".into()))?;
@@ -205,6 +216,101 @@ impl Inner {
         self.cache.insert(key, Arc::clone(&prepared));
         Ok(prepared)
     }
+}
+
+/// One circuit payload extracted from a predict request: BENCH text, or
+/// AIGER bytes (ASCII or binary, possibly base64-transported) plus the
+/// latch ingestion policy the client asked for.
+enum RequestPayload {
+    Bench {
+        name: String,
+        text: String,
+    },
+    Aiger {
+        name: String,
+        bytes: Vec<u8>,
+        policy: LatchPolicy,
+    },
+}
+
+impl RequestPayload {
+    /// First-level cache key. AIGER keys fold in the latch policy — the
+    /// same bytes under `cut` and `unroll:k` are different circuits.
+    fn cache_key(&self) -> u128 {
+        match self {
+            RequestPayload::Bench { text, .. } => text_key(text),
+            RequestPayload::Aiger { bytes, policy, .. } => {
+                request_key("aiger", &policy.to_string(), bytes)
+            }
+        }
+    }
+}
+
+/// Parses the `latch` field of a predict request: absent → `cut`, otherwise
+/// the string forms `"cut"` and `"unroll:<frames>"`.
+fn parse_latch(value: Option<&Value>) -> Result<LatchPolicy, String> {
+    let Some(value) = value else {
+        return Ok(LatchPolicy::Cut);
+    };
+    let Value::Str(text) = value else {
+        return Err("`latch` must be a string: \"cut\" or \"unroll:<frames>\"".into());
+    };
+    if text == "cut" {
+        return Ok(LatchPolicy::Cut);
+    }
+    if let Some(frames) = text.strip_prefix("unroll:") {
+        let frames: usize = frames
+            .parse()
+            .map_err(|_| format!("bad frame count in `latch: \"{text}\"`"))?;
+        if frames == 0 {
+            return Err("`latch: \"unroll:0\"`: need at least one frame".into());
+        }
+        return Ok(LatchPolicy::Unroll(frames));
+    }
+    Err(format!(
+        "unknown latch policy `{text}` (expected \"cut\" or \"unroll:<frames>\")"
+    ))
+}
+
+/// Extracts the circuit payload from a predict request's fields: exactly one
+/// of `bench` (BENCH text), `aiger` (AIGER-ASCII text) or `aiger_b64`
+/// (base64 of an ASCII or binary AIGER file).
+fn parse_payload(
+    fields: &std::collections::BTreeMap<String, Value>,
+    name: &str,
+) -> Result<RequestPayload, String> {
+    let sources = [
+        ("bench", fields.get("bench")),
+        ("aiger", fields.get("aiger")),
+        ("aiger_b64", fields.get("aiger_b64")),
+    ];
+    let mut present = sources.iter().filter(|(_, value)| value.is_some());
+    let (Some((field, Some(value))), None) = (present.next(), present.next()) else {
+        return Err("predict request needs exactly one of `bench`, `aiger` or `aiger_b64`".into());
+    };
+    let Value::Str(text) = value else {
+        return Err(format!("`{field}` must be a string"));
+    };
+    if *field == "bench" {
+        if fields.contains_key("latch") {
+            return Err("`latch` only applies to AIGER payloads".into());
+        }
+        return Ok(RequestPayload::Bench {
+            name: name.to_string(),
+            text: text.clone(),
+        });
+    }
+    let policy = parse_latch(fields.get("latch"))?;
+    let bytes = if *field == "aiger" {
+        text.as_bytes().to_vec()
+    } else {
+        b64::decode(text).map_err(|e| format!("`aiger_b64`: {e}"))?
+    };
+    Ok(RequestPayload::Aiger {
+        name: name.to_string(),
+        bytes,
+        policy,
+    })
 }
 
 fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
@@ -332,18 +438,16 @@ fn handle_line(inner: &Arc<Inner>, line: &str) -> (Value, bool) {
                     false,
                 );
             }
-            let Some(Value::Str(bench)) = fields.get("bench") else {
-                return (
-                    error_response(id, "predict request needs a string `bench` field"),
-                    false,
-                );
-            };
             let name = match fields.get("name") {
                 Some(Value::Str(name)) => name.as_str(),
                 _ => "request",
             };
+            let payload = match parse_payload(fields, name) {
+                Ok(payload) => payload,
+                Err(message) => return (error_response(id, &message), false),
+            };
             let outcome = inner
-                .resolve(name, bench)
+                .resolve(&payload)
                 .and_then(|prepared| inner.scheduler.predict(prepared));
             match outcome {
                 Ok(probs) => {

@@ -54,6 +54,16 @@ impl Client {
     }
 }
 
+fn request_of(pairs: &[(&str, Value)]) -> String {
+    serde_json::to_string(&Value::Object(
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+    ))
+    .expect("request serialises")
+}
+
 fn field<'a>(value: &'a Value, name: &str) -> &'a Value {
     value
         .as_object()
@@ -280,6 +290,127 @@ fn oversized_request_lines_are_rejected_not_buffered() {
     let mut probe = Client::connect(&server);
     let response = probe.roundtrip(r#"{"id": 1, "op": "stats"}"#);
     assert!(field(&response, "stats").as_object().is_some());
+    server.shutdown();
+}
+
+#[test]
+fn aiger_payloads_flow_through_the_wire_in_both_latch_modes() {
+    use deepgate::aig::aiger::{random_aig, write_aag, write_aig};
+
+    let aig = random_aig(7, 3, 2, 12);
+    let ascii = write_aag(&aig);
+    let binary = write_aig(&aig).expect("canonical AIG serialises");
+    let server = start_server(ServeConfig::default());
+    let mut client = Client::connect(&server);
+
+    // AIGER-ASCII inline, default (cut) latch policy.
+    let ascii_request = request_of(&[("id", Value::UInt(1)), ("aiger", Value::Str(ascii.clone()))]);
+    let cut_probs = probs_of(&client.roundtrip(&ascii_request));
+    assert!(!cut_probs.is_empty());
+    assert!(cut_probs.iter().all(|p| (0.0..=1.0).contains(p)));
+
+    // The same circuit as base64-encoded *binary* AIGER: different bytes,
+    // same structure — the fingerprint level of the cache shares the one
+    // prepared entry, and predictions are bit-identical.
+    let binary_request = request_of(&[
+        ("id", Value::UInt(2)),
+        (
+            "aiger_b64",
+            Value::Str(deepgate_serve::b64::encode(&binary)),
+        ),
+        ("latch", Value::Str("cut".to_string())),
+    ]);
+    let bin_probs = probs_of(&client.roundtrip(&binary_request));
+    assert_eq!(bin_probs, cut_probs);
+    assert_eq!(server.stats().cache.entries, 1);
+
+    // Unrolling time-frame-expands the latch transition logic (with frame-0
+    // reset constants folded in), yielding a structurally different circuit
+    // from the cut view of the same bytes. The latch policy is part of the
+    // cache key: this is a new prepared entry, not a hit.
+    let unrolled_request = request_of(&[
+        ("id", Value::UInt(3)),
+        (
+            "aiger_b64",
+            Value::Str(deepgate_serve::b64::encode(&binary)),
+        ),
+        ("latch", Value::Str("unroll:3".to_string())),
+    ]);
+    let unrolled_probs = probs_of(&client.roundtrip(&unrolled_request));
+    assert!(!unrolled_probs.is_empty());
+    assert_ne!(unrolled_probs, cut_probs);
+    assert_eq!(server.stats().cache.entries, 2);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_aiger_requests_get_clean_errors() {
+    let server = start_server(ServeConfig::default());
+    let mut client = Client::connect(&server);
+    let valid_aag = "aag 1 1 0 1 0\n2\n2\n";
+
+    let cases: Vec<(String, &str)> = vec![
+        (
+            request_of(&[("aiger_b64", Value::Str("!!!not-base64!!!".into()))]),
+            "base64",
+        ),
+        (
+            // Valid base64 wrapping a lying binary header (5 ANDs, no data).
+            request_of(&[(
+                "aiger_b64",
+                Value::Str(deepgate_serve::b64::encode(b"aig 5 0 0 0 5\n")),
+            )]),
+            "bad request",
+        ),
+        (
+            request_of(&[("aiger", Value::Str("aag 2 1 0 1 1\n2\n4\n4 3 5\n".into()))]),
+            "bad request",
+        ),
+        (
+            // Two payload fields at once.
+            request_of(&[
+                ("bench", Value::Str(FULL_ADDER.into())),
+                ("aiger", Value::Str(valid_aag.into())),
+            ]),
+            "exactly one",
+        ),
+        (
+            // `latch` is an AIGER concept.
+            request_of(&[
+                ("bench", Value::Str(FULL_ADDER.into())),
+                ("latch", Value::Str("cut".into())),
+            ]),
+            "latch",
+        ),
+        (
+            request_of(&[
+                ("aiger", Value::Str(valid_aag.into())),
+                ("latch", Value::Str("unroll:0".into())),
+            ]),
+            "frame",
+        ),
+        (
+            request_of(&[
+                ("aiger", Value::Str(valid_aag.into())),
+                ("latch", Value::Str("frobnicate".into())),
+            ]),
+            "latch policy",
+        ),
+    ];
+    for (request, needle) in cases {
+        let response = client.roundtrip(&request);
+        let Value::Str(message) = field(&response, "error") else {
+            panic!("expected error string for {request}, got {response:?}");
+        };
+        assert!(
+            message.contains(needle),
+            "error for {request} should mention `{needle}`, got: {message}"
+        );
+    }
+
+    // The connection and server survive every rejected request.
+    let response = client.roundtrip(&request_of(&[("aiger", Value::Str(valid_aag.into()))]));
+    assert!(field(&response, "probs").as_array().is_some());
     server.shutdown();
 }
 

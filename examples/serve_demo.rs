@@ -10,11 +10,17 @@
 //!
 //! - `{"id": …, "bench": "<BENCH text>"}` → `{"id": …, "probs": […]}`
 //!   (`id` is echoed verbatim and may be any JSON value)
+//! - `{"id": …, "aiger": "<AIGER-ASCII>"}` /
+//!   `{"id": …, "aiger_b64": "<base64 .aag/.aig>", "latch": "cut" | "unroll:<k>"}`
+//!   → `{"id": …, "probs": […]}` — AIGER ingestion; binary files travel
+//!   base64-encoded, and sequential circuits pick a latch policy (default
+//!   `cut`)
 //! - `{"id": …, "op": "stats"}` → `{"id": …, "stats": {…}}`
 //! - `{"id": …, "op": "shutdown"}` → `{"id": …, "ok": true}`, then the
 //!   server drains gracefully
 //! - anything malformed → `{"id": …, "error": "…"}`
 
+use deepgate::aig::aiger::{random_aig, write_aig};
 use deepgate::prelude::*;
 use deepgate_serve::{ServeConfig, Server};
 use std::io::{BufRead, BufReader, Write};
@@ -101,6 +107,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         let line = serde_json::to_string(&serde_json::Value::Object(request))?;
         let response = roundtrip(&mut reader, &mut writer, &line)?;
+        assert!(
+            response.contains("probs"),
+            "expected predictions, got: {response}"
+        );
+    }
+
+    // AIGER ingestion: a latch-bearing circuit as binary `.aig` bytes,
+    // base64-encoded onto the wire, served under both latch policies. The
+    // policy is part of the cache key — these are two distinct circuits.
+    let sequential = random_aig(5, 3, 2, 12);
+    let aig_bytes = write_aig(&sequential).expect("canonical AIG serialises");
+    for (id, latch) in [("a-cut", "cut"), ("a-unroll", "unroll:2")] {
+        let request = format!(
+            r#"{{"id": "{id}", "name": "toggle", "aiger_b64": "{}", "latch": "{latch}"}}"#,
+            deepgate_serve::b64::encode(&aig_bytes)
+        );
+        let response = roundtrip(&mut reader, &mut writer, &request)?;
         assert!(
             response.contains("probs"),
             "expected predictions, got: {response}"

@@ -9,9 +9,10 @@
 //!   evaluation and checkpointing.
 //! - [`CircuitSource`] — one trait unifying every input format: BENCH
 //!   text/files ([`BenchText`], [`BenchFile`]), structural Verilog
-//!   ([`VerilogText`], [`VerilogFile`]), in-memory netlists
-//!   ([`NetlistSource`]) and the synthetic benchmark generators
-//!   ([`SuiteSource`], [`LargeDesignSource`]).
+//!   ([`VerilogText`], [`VerilogFile`]), AIGER ASCII and binary with
+//!   latch-aware ingestion ([`AigerText`], [`AigerBytes`], [`AigerFile`],
+//!   [`LatchPolicy`]), in-memory netlists ([`NetlistSource`]) and the
+//!   synthetic benchmark generators ([`SuiteSource`], [`LargeDesignSource`]).
 //! - [`DeepGateError`] — one crate-spanning error enum; every public entry
 //!   point returns `Result`, never panics on user input.
 //! - [`InferenceSession`] — the batched serving hot path:
@@ -85,22 +86,23 @@ mod error;
 mod session;
 mod source;
 
+pub use deepgate_aig::LatchPolicy;
 pub use engine::{Engine, EngineBuilder};
 pub use error::DeepGateError;
 pub use session::{InferenceSession, PreparedCircuit};
 pub use source::{
-    BenchFile, BenchText, CircuitSource, LargeDesignSource, NetlistSource, SuiteSource,
-    VerilogFile, VerilogText,
+    AigerBytes, AigerFile, AigerText, BenchFile, BenchText, CircuitSource, LargeDesignSource,
+    NetlistSource, SuiteSource, VerilogFile, VerilogText,
 };
 
 /// Commonly used types, re-exported for convenient glob import.
 pub mod prelude {
     pub use crate::{
-        BenchFile, BenchText, CircuitSource, DeepGateError, Engine, EngineBuilder,
-        InferenceSession, LargeDesignSource, NetlistSource, PreparedCircuit, SuiteSource,
-        VerilogFile, VerilogText,
+        AigerBytes, AigerFile, AigerText, BenchFile, BenchText, CircuitSource, DeepGateError,
+        Engine, EngineBuilder, InferenceSession, LargeDesignSource, NetlistSource, PreparedCircuit,
+        SuiteSource, VerilogFile, VerilogText,
     };
-    pub use deepgate_aig::{Aig, AigLit, AigNodeKind};
+    pub use deepgate_aig::{Aig, AigLit, AigNodeKind, LatchPolicy};
     pub use deepgate_core::{DeepGate, DeepGateConfig, Trainer, TrainerConfig};
     pub use deepgate_dataset::{Dataset, DatasetConfig, SuiteKind};
     pub use deepgate_gnn::{Aggregator, CircuitGraph, DagRecGnn, Gcn, GnnError};

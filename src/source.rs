@@ -1,8 +1,9 @@
 //! [`CircuitSource`] — one trait unifying every way circuits enter the
-//! system: BENCH text/files, structural Verilog, in-memory netlists and the
-//! synthetic benchmark-suite generators.
+//! system: BENCH text/files, structural Verilog, AIGER (ASCII and binary),
+//! in-memory netlists and the synthetic benchmark-suite generators.
 
 use crate::DeepGateError;
+use deepgate_aig::{aiger, Aig, LatchPolicy};
 use deepgate_dataset::{LargeDesign, SuiteKind};
 use deepgate_netlist::Netlist;
 use std::path::{Path, PathBuf};
@@ -126,6 +127,131 @@ impl CircuitSource for VerilogFile {
     fn netlists(&self) -> Result<Vec<Netlist>, DeepGateError> {
         let text = read_file(&self.path)?;
         Ok(vec![deepgate_netlist::verilog::parse(&text)?])
+    }
+}
+
+/// Applies a latch policy to a parsed AIG and expands it into the netlist
+/// form every other source yields, so AIGER input joins the same pipeline.
+fn aiger_netlist(aig: &Aig, policy: LatchPolicy) -> Result<Netlist, DeepGateError> {
+    let combinational = policy.apply(aig)?;
+    Ok(combinational.to_netlist())
+}
+
+/// AIGER-ASCII (`aag`) circuit text held in memory.
+///
+/// Sequential circuits are admitted: latches are handled according to the
+/// configured [`LatchPolicy`] (default: cut into pseudo-PI/PO).
+pub struct AigerText {
+    name: String,
+    text: String,
+    policy: LatchPolicy,
+}
+
+impl AigerText {
+    /// Wraps AIGER-ASCII text under a design name.
+    pub fn new(name: impl Into<String>, text: impl Into<String>) -> Self {
+        AigerText {
+            name: name.into(),
+            text: text.into(),
+            policy: LatchPolicy::default(),
+        }
+    }
+
+    /// Sets the latch ingestion policy (default [`LatchPolicy::Cut`]).
+    pub fn latch_policy(mut self, policy: LatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+impl CircuitSource for AigerText {
+    fn describe(&self) -> String {
+        format!("aiger:{}:{}", self.name, self.policy)
+    }
+
+    fn netlists(&self) -> Result<Vec<Netlist>, DeepGateError> {
+        let aig = aiger::parse_aag(&self.text, self.name.clone())
+            .map_err(deepgate_aig::AigError::from)?;
+        Ok(vec![aiger_netlist(&aig, self.policy)?])
+    }
+}
+
+/// An in-memory AIGER byte buffer, either flavour: the header magic selects
+/// the ASCII (`aag`) or binary (`aig`) reader.
+pub struct AigerBytes {
+    name: String,
+    bytes: Vec<u8>,
+    policy: LatchPolicy,
+}
+
+impl AigerBytes {
+    /// Wraps AIGER bytes (ASCII or binary) under a design name.
+    pub fn new(name: impl Into<String>, bytes: impl Into<Vec<u8>>) -> Self {
+        AigerBytes {
+            name: name.into(),
+            bytes: bytes.into(),
+            policy: LatchPolicy::default(),
+        }
+    }
+
+    /// Sets the latch ingestion policy (default [`LatchPolicy::Cut`]).
+    pub fn latch_policy(mut self, policy: LatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+impl CircuitSource for AigerBytes {
+    fn describe(&self) -> String {
+        format!("aiger-bytes:{}:{}", self.name, self.policy)
+    }
+
+    fn netlists(&self) -> Result<Vec<Netlist>, DeepGateError> {
+        let aig = aiger::parse_auto(&self.bytes, self.name.clone())
+            .map_err(deepgate_aig::AigError::from)?;
+        Ok(vec![aiger_netlist(&aig, self.policy)?])
+    }
+}
+
+/// An AIGER file on disk (`.aag` or `.aig`, auto-detected by header magic).
+pub struct AigerFile {
+    path: PathBuf,
+    policy: LatchPolicy,
+}
+
+impl AigerFile {
+    /// References an AIGER file by path.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        AigerFile {
+            path: path.into(),
+            policy: LatchPolicy::default(),
+        }
+    }
+
+    /// Sets the latch ingestion policy (default [`LatchPolicy::Cut`]).
+    pub fn latch_policy(mut self, policy: LatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+impl CircuitSource for AigerFile {
+    fn describe(&self) -> String {
+        format!("aiger-file:{}:{}", self.path.display(), self.policy)
+    }
+
+    fn netlists(&self) -> Result<Vec<Netlist>, DeepGateError> {
+        let bytes = std::fs::read(&self.path).map_err(|e| DeepGateError::Io {
+            path: self.path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let name = self
+            .path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "aiger".to_string());
+        let aig = aiger::parse_auto(&bytes, name).map_err(deepgate_aig::AigError::from)?;
+        Ok(vec![aiger_netlist(&aig, self.policy)?])
     }
 }
 
@@ -283,6 +409,47 @@ mod tests {
             .expect("the EPFL suite generator fixture should yield netlists");
         assert_eq!(netlists.len(), 3);
         assert!(netlists.iter().all(|n| n.num_gates() > 0));
+    }
+
+    // 2-bit counter with two latches, two outputs and three AND gates.
+    const COUNTER_AAG: &str =
+        "aag 5 0 2 2 3\n2 3\n4 10\n2\n4\n6 5 3\n8 4 2\n10 7 9\nl0 b0\nl1 b1\no0 y0\no1 y1\nc\ncounter\n";
+
+    #[test]
+    fn aiger_text_cut_exposes_latch_interface() {
+        let source = AigerText::new("counter", COUNTER_AAG);
+        let netlists = source.netlists().expect("the counter fixture parses");
+        assert_eq!(netlists.len(), 1);
+        // Cut mode: 2 pseudo-inputs (latch states), 2 + 2 outputs.
+        assert_eq!(netlists[0].num_inputs(), 2);
+        assert_eq!(netlists[0].num_outputs(), 4);
+        assert!(source.describe().contains("cut"));
+    }
+
+    #[test]
+    fn aiger_text_unroll_replicates_frames() {
+        let source = AigerText::new("counter", COUNTER_AAG).latch_policy(LatchPolicy::Unroll(3));
+        let netlists = source.netlists().expect("the counter fixture unrolls");
+        // 2 outputs per frame, no primary inputs.
+        assert_eq!(netlists[0].num_outputs(), 6);
+        assert!(source.describe().contains("unroll:3"));
+    }
+
+    #[test]
+    fn aiger_bytes_accepts_binary() {
+        let aig = deepgate_aig::aiger::random_aig(5, 3, 2, 12);
+        let bytes = deepgate_aig::aiger::write_aig(&aig).expect("valid aig serialises");
+        let source = AigerBytes::new("rand", bytes);
+        let netlists = source.netlists().expect("binary aiger parses");
+        assert!(netlists[0].num_gates() > 0);
+    }
+
+    #[test]
+    fn aiger_error_maps_to_aig_variant() {
+        let source = AigerText::new("bad", "aag not-a-header\n");
+        assert!(matches!(source.netlists(), Err(DeepGateError::Aig(_))));
+        let source = AigerFile::new("/nonexistent/never.aig");
+        assert!(matches!(source.netlists(), Err(DeepGateError::Io { .. })));
     }
 
     #[test]

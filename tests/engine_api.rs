@@ -85,6 +85,42 @@ fn verilog_source_flows_through_the_same_pipeline() {
 }
 
 #[test]
+fn aiger_binary_flows_through_the_engine_in_both_latch_modes() {
+    // A random sequential AIG serialised to binary AIGER must prepare,
+    // train and predict end-to-end under both latch treatments.
+    let aig = deepgate::aig::aiger::random_aig(21, 3, 2, 16);
+    let bytes = deepgate::aig::aiger::write_aig(&aig).expect("valid aig serialises");
+
+    let mut engine = quick_engine();
+    let cut = engine
+        .prepare(&AigerBytes::new("seq", bytes.clone()).latch_policy(LatchPolicy::Cut))
+        .unwrap();
+    let unrolled = engine
+        .prepare(&AigerBytes::new("seq", bytes).latch_policy(LatchPolicy::Unroll(2)))
+        .unwrap();
+    assert_eq!(cut.len(), 1);
+    assert_eq!(unrolled.len(), 1);
+    assert_ne!(
+        cut[0].fingerprint(),
+        unrolled[0].fingerprint(),
+        "latch policies must yield structurally distinct graphs"
+    );
+    engine.train(&cut, &[]).unwrap();
+    let probs = engine.session().predict(&unrolled[0]).unwrap();
+    assert_eq!(probs.len(), unrolled[0].num_nodes);
+    assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+}
+
+#[test]
+fn malformed_aiger_is_an_error_not_a_panic() {
+    let engine = quick_engine();
+    let err = engine
+        .prepare(&AigerBytes::new("bad", b"aig 1 0 0 0 1\n".to_vec()))
+        .unwrap_err();
+    assert!(matches!(err, DeepGateError::Aig(_)));
+}
+
+#[test]
 fn suite_source_feeds_fit() {
     let mut engine = quick_engine();
     let history = engine
