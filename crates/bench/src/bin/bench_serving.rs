@@ -33,6 +33,15 @@ struct ServingBaseline {
     latency_p50_ms: f64,
     latency_p90_ms: f64,
     latency_p99_ms: f64,
+    /// Server-side end-to-end request latency percentiles, scraped from the
+    /// `metrics` wire verb (`request_latency_ns`) — unlike the client-side
+    /// numbers above, these exclude client-thread scheduling noise.
+    server_latency_p50_ms: f64,
+    server_latency_p90_ms: f64,
+    server_latency_p99_ms: f64,
+    /// The server's `batch_size` histogram as `[upper_bound, count]` pairs
+    /// (non-empty buckets only, ascending).
+    batch_size_histogram: Vec<(u64, u64)>,
     mean_batch: f64,
     max_batch_observed: u64,
     deduplicated: u64,
@@ -57,6 +66,36 @@ fn predict_request(text: &str) -> String {
     let mut line = serde_json::to_string(&Value::Object(object)).expect("request serialises");
     line.push('\n');
     line
+}
+
+/// Scrapes the server's `metrics` wire verb and extracts one histogram's
+/// fields: `(p50, p90, p99, buckets)`.
+fn scrape_histogram(metrics: &Value, name: &str) -> (u64, u64, u64, Vec<(u64, u64)>) {
+    let histogram = metrics
+        .as_object()
+        .and_then(|o| o.get("histograms"))
+        .and_then(Value::as_object)
+        .and_then(|o| o.get(name))
+        .and_then(Value::as_object)
+        .unwrap_or_else(|| panic!("metrics response lacks histogram `{name}`"));
+    let uint = |key: &str| match histogram.get(key) {
+        Some(Value::UInt(v)) => *v,
+        other => panic!("`{name}.{key}` is not an unsigned integer: {other:?}"),
+    };
+    let buckets = histogram
+        .get("buckets")
+        .and_then(Value::as_array)
+        .expect("buckets array")
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_array().expect("bucket pair");
+            match (&pair[0], &pair[1]) {
+                (Value::UInt(le), Value::UInt(count)) => (*le, *count),
+                other => panic!("non-integer bucket pair {other:?}"),
+            }
+        })
+        .collect();
+    (uint("p50"), uint("p90"), uint("p99"), buckets)
 }
 
 fn response_probs(line: &str) -> Vec<f32> {
@@ -223,6 +262,29 @@ fn main() {
     }
     let server_s = server_start.elapsed().as_secs_f64();
     let stats = server.stats();
+
+    // Server-side telemetry, scraped over the wire like a monitoring agent
+    // would: end-to-end latency percentiles from `request_latency_ns` and
+    // the batch-size distribution, all from one consistent snapshot.
+    let server_metrics = {
+        let stream = TcpStream::connect(addr).expect("connects");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        writer
+            .write_all(b"{\"op\":\"metrics\"}\n")
+            .expect("scrape written");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("scrape response");
+        let response: Value = serde_json::from_str(&line).expect("metrics response is JSON");
+        response
+            .as_object()
+            .and_then(|o| o.get("metrics"))
+            .cloned()
+            .expect("metrics response carries a `metrics` object")
+    };
+    let (latency_p50_ns, latency_p90_ns, latency_p99_ns, _) =
+        scrape_histogram(&server_metrics, "request_latency_ns");
+    let (_, _, _, batch_size_histogram) = scrape_histogram(&server_metrics, "batch_size");
     server.shutdown();
 
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
@@ -239,6 +301,10 @@ fn main() {
         latency_p50_ms: percentile(&latencies, 0.50),
         latency_p90_ms: percentile(&latencies, 0.90),
         latency_p99_ms: percentile(&latencies, 0.99),
+        server_latency_p50_ms: latency_p50_ns as f64 / 1e6,
+        server_latency_p90_ms: latency_p90_ns as f64 / 1e6,
+        server_latency_p99_ms: latency_p99_ns as f64 / 1e6,
+        batch_size_histogram,
         mean_batch: if stats.scheduler.batches == 0 {
             0.0
         } else {
@@ -258,6 +324,7 @@ fn main() {
         "sequential : {:>8.1} req/s\n\
          served     : {:>8.1} req/s ({:.2}x)\n\
          latency    : p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms\n\
+         server side: p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms\n\
          batching   : mean {:.1}, max {}, {} deduplicated\n\
          cache      : {} hits / {} misses\n\
          exact      : {}",
@@ -267,6 +334,9 @@ fn main() {
         baseline.latency_p50_ms,
         baseline.latency_p90_ms,
         baseline.latency_p99_ms,
+        baseline.server_latency_p50_ms,
+        baseline.server_latency_p90_ms,
+        baseline.server_latency_p99_ms,
         baseline.mean_batch,
         baseline.max_batch_observed,
         baseline.deduplicated,

@@ -169,6 +169,29 @@ impl DeepGate {
             .try_predict_into(&self.store, circuit, plan, self.config.num_iterations, out)
     }
 
+    /// [`DeepGate::try_predict_into`] with optional kernel telemetry — see
+    /// [`DagRecGnn::try_predict_into_metered`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::EncodingMismatch`] for incompatible circuits.
+    pub fn try_predict_into_metered(
+        &self,
+        circuit: &CircuitGraph,
+        plan: &InferencePlan,
+        out: &mut Vec<f32>,
+        metrics: Option<&deepgate_gnn::GnnMetrics>,
+    ) -> Result<(), GnnError> {
+        self.model.try_predict_into_metered(
+            &self.store,
+            circuit,
+            plan,
+            self.config.num_iterations,
+            out,
+            metrics,
+        )
+    }
+
     /// Predicts with an explicit recurrence iteration count (the paper's
     /// Section IV-D2 sweeps `T` from 1 to 50 at inference time).
     pub fn predict_with_iterations(&self, circuit: &CircuitGraph, iterations: usize) -> Vec<f32> {

@@ -12,10 +12,13 @@
 //! | DeepGate w/o SC | Attention | yes | yes | no |
 //! | DeepGate w/ SC | Attention | yes | yes | yes |
 
-use crate::{Aggregator, AggregatorKind, CircuitGraph, GnnError, LevelBatch, ProbabilityModel};
+use crate::{
+    Aggregator, AggregatorKind, CircuitGraph, GnnError, GnnMetrics, LevelBatch, ProbabilityModel,
+};
 use deepgate_aig::recon::positional_encoding;
 use deepgate_nn::{Activation, Graph, GruCell, Linear, Mlp, ParamStore, Tensor, Var};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Precomputed per-circuit inference state: the extended (skip-connection
 /// augmented) edge lists of every forward level batch.
@@ -440,14 +443,42 @@ impl DagRecGnn {
         num_iterations: usize,
         out: &mut Vec<f32>,
     ) -> Result<(), GnnError> {
+        self.try_predict_into_metered(store, circuit, plan, num_iterations, out, None)
+    }
+
+    /// [`DagRecGnn::try_predict_into`] with optional kernel telemetry: when
+    /// `metrics` is given, every level-batch update records its wall time,
+    /// the regressor head is timed and the circuit's node count lands in
+    /// the size-bucket histogram. With `None` the path is identical to the
+    /// un-metered one.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DagRecGnn::try_predict_into`].
+    pub fn try_predict_into_metered(
+        &self,
+        store: &ParamStore,
+        circuit: &CircuitGraph,
+        plan: &InferencePlan,
+        num_iterations: usize,
+        out: &mut Vec<f32>,
+        metrics: Option<&GnnMetrics>,
+    ) -> Result<(), GnnError> {
         self.check_encoding(circuit)?;
         if plan.forward.len() != circuit.forward_batches.len()
             || plan.attr_dim != self.config.edge_attr_dim()
         {
             return Err(GnnError::PlanMismatch);
         }
-        let h = self.embed_with_plan(store, circuit, num_iterations, plan);
+        if let Some(m) = metrics {
+            m.circuit_nodes.record(circuit.num_nodes as u64);
+        }
+        let h = self.embed_with_plan_metered(store, circuit, num_iterations, plan, metrics);
+        let regress_start = metrics.map(|_| Instant::now());
         let pred = self.regress_tensor(store, circuit, &h);
+        if let (Some(m), Some(start)) = (metrics, regress_start) {
+            m.regress_ns.record_duration(start.elapsed());
+        }
         out.clear();
         out.extend_from_slice(pred.as_slice());
         Ok(())
@@ -490,6 +521,19 @@ impl DagRecGnn {
         num_iterations: usize,
         plan: &InferencePlan,
     ) -> Tensor {
+        self.embed_with_plan_metered(store, circuit, num_iterations, plan, None)
+    }
+
+    /// The embedding recurrence, optionally timing every level-batch
+    /// aggregation + update into `metrics`.
+    fn embed_with_plan_metered(
+        &self,
+        store: &ParamStore,
+        circuit: &CircuitGraph,
+        num_iterations: usize,
+        plan: &InferencePlan,
+        metrics: Option<&GnnMetrics>,
+    ) -> Tensor {
         let mut h = self.embed.forward_tensor(store, &circuit.features);
         for _ in 0..num_iterations {
             for ((batch, (edge_src, edge_seg, attr)), edge_targets) in circuit
@@ -498,6 +542,7 @@ impl DagRecGnn {
                 .zip(&plan.forward)
                 .zip(&plan.forward_targets)
             {
+                let level_start = metrics.map(|_| Instant::now());
                 let msg = self.aggregate_tensor(
                     store,
                     &h,
@@ -509,11 +554,16 @@ impl DagRecGnn {
                     false,
                 );
                 self.update_rows_tensor(store, circuit, &mut h, batch, &msg, false);
+                if let (Some(m), Some(start)) = (metrics, level_start) {
+                    m.level_agg_ns.record_duration(start.elapsed());
+                    m.levels_total.inc();
+                }
             }
             if self.reverse_agg.is_some() {
                 for (batch, edge_targets) in
                     circuit.reverse_batches.iter().zip(&plan.reverse_targets)
                 {
+                    let level_start = metrics.map(|_| Instant::now());
                     let msg = self.aggregate_tensor(
                         store,
                         &h,
@@ -525,6 +575,10 @@ impl DagRecGnn {
                         true,
                     );
                     self.update_rows_tensor(store, circuit, &mut h, batch, &msg, true);
+                    if let (Some(m), Some(start)) = (metrics, level_start) {
+                        m.level_agg_ns.record_duration(start.elapsed());
+                        m.levels_total.inc();
+                    }
                 }
             }
         }
@@ -839,6 +893,40 @@ mod tests {
         let h4 = model.embed_with_iterations(&store, &circuit, 4);
         assert_eq!(h1.shape(), [circuit.num_nodes, 12]);
         assert_ne!(h1, h4);
+    }
+
+    #[test]
+    fn metered_prediction_matches_and_records_kernel_series() {
+        let circuit = reconvergent_graph();
+        let mut store = ParamStore::new();
+        let model = DagRecGnn::new(&mut store, small_config(AggregatorKind::Attention));
+        let plan = model.plan(&circuit);
+
+        let mut plain = Vec::new();
+        model
+            .try_predict_into(&store, &circuit, &plan, 2, &mut plain)
+            .unwrap();
+
+        let registry = deepgate_telemetry::Registry::new();
+        let metrics = GnnMetrics::registered(&registry);
+        let mut metered = Vec::new();
+        model
+            .try_predict_into_metered(&store, &circuit, &plan, 2, &mut metered, Some(&metrics))
+            .unwrap();
+        assert_eq!(plain, metered, "telemetry must not perturb the prediction");
+
+        let snap = registry.snapshot();
+        // 2 iterations × (forward + reverse) level batches.
+        let levels = 2 * (circuit.forward_batches.len() + circuit.reverse_batches.len()) as u64;
+        assert_eq!(snap.counter("gnn_levels_total"), levels);
+        assert_eq!(
+            snap.histogram("gnn_level_agg_ns").expect("series").count,
+            levels
+        );
+        assert_eq!(snap.histogram("gnn_regress_ns").expect("series").count, 1);
+        let nodes = snap.histogram("gnn_circuit_nodes").expect("series");
+        assert_eq!(nodes.count, 1);
+        assert_eq!(nodes.max, circuit.num_nodes as u64);
     }
 
     #[test]

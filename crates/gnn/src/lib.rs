@@ -25,6 +25,7 @@ mod dag_rec;
 mod error;
 mod gcn;
 mod graph;
+mod metrics;
 mod model;
 
 pub use aggregator::{Aggregator, AggregatorKind};
@@ -33,4 +34,5 @@ pub use dag_rec::{DagRecConfig, DagRecGnn, InferencePlan};
 pub use error::GnnError;
 pub use gcn::{Gcn, GcnConfig};
 pub use graph::{CircuitGraph, FeatureEncoding, LevelBatch, SkipEdge, StructuralHasher};
+pub use metrics::GnnMetrics;
 pub use model::{evaluate_prediction_error, masked_l1_loss, ProbabilityModel};

@@ -1,0 +1,39 @@
+//! Telemetry handles for the GNN inference kernel.
+
+use deepgate_telemetry::{Counter, Histogram, Registry};
+use std::sync::Arc;
+
+/// Shared handles to the inference-kernel metric series.
+///
+/// The planned prediction path ([`crate::DagRecGnn::try_predict_into_metered`])
+/// records into these when given a set; the un-metered entry points skip
+/// telemetry entirely, so training and offline benchmarking pay nothing.
+#[derive(Debug, Clone)]
+pub struct GnnMetrics {
+    /// Wall time of one level-batch aggregation + GRU update, in
+    /// nanoseconds (`gnn_level_agg_ns`). Forward and reverse batches both
+    /// record here — this is the per-level cost profile of the recurrence.
+    pub level_agg_ns: Arc<Histogram>,
+    /// Wall time of the regressor head over the final embeddings, in
+    /// nanoseconds (`gnn_regress_ns`).
+    pub regress_ns: Arc<Histogram>,
+    /// Circuit sizes (node counts) seen by the inference path
+    /// (`gnn_circuit_nodes`) — the size-bucket profile of the workload.
+    pub circuit_nodes: Arc<Histogram>,
+    /// Total level batches processed across all iterations
+    /// (`gnn_levels_total`).
+    pub levels_total: Arc<Counter>,
+}
+
+impl GnnMetrics {
+    /// Registers the kernel's series in `registry` (get-or-create, so many
+    /// models can share one registry).
+    pub fn registered(registry: &Registry) -> Self {
+        GnnMetrics {
+            level_agg_ns: registry.histogram("gnn_level_agg_ns"),
+            regress_ns: registry.histogram("gnn_regress_ns"),
+            circuit_nodes: registry.histogram("gnn_circuit_nodes"),
+            levels_total: registry.counter("gnn_levels_total"),
+        }
+    }
+}

@@ -27,6 +27,9 @@ usage: deepgate-serve [options]
   --queue-depth <n>      bounded queue depth (default 1024)
   --workers <n>          batching worker threads (default: CPU count)
   --cache <n>            structural cache capacity (default 256)
+  --slow-ms <n>          log predict requests slower than n milliseconds,
+                         naming the dominant stage (0 logs every request;
+                         default: disabled)
   --help                 print this help";
 
 fn fail(message: &str) -> ! {
@@ -60,6 +63,12 @@ fn main() {
             "--queue-depth" => config.queue_depth = parse(&value("--queue-depth"), "--queue-depth"),
             "--workers" => config.workers = parse(&value("--workers"), "--workers"),
             "--cache" => config.cache_capacity = parse(&value("--cache"), "--cache"),
+            "--slow-ms" => {
+                config.slow_request_threshold =
+                    Some(Duration::from_millis(
+                        parse(&value("--slow-ms"), "--slow-ms") as u64,
+                    ))
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;

@@ -2,11 +2,12 @@
 //! [`deepgate::gnn::CircuitGraph::fingerprint`], with a text-hash memo in
 //! front of the parser so byte-identical requests skip parsing too.
 
+use crate::metrics::CacheMetrics;
+use deepgate::telemetry::Registry;
 use deepgate::PreparedCircuit;
 use serde::Serialize;
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A 128-bit content hash of raw BENCH request text, used as the first-level
@@ -87,14 +88,40 @@ impl<K: Eq + Hash + Copy, V: Clone> Lru<K, V> {
 /// Cache counters, as reported by the `stats` wire verb.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct CacheStats {
-    /// Requests served from the cache (text-level or fingerprint-level).
+    /// Requests served from the cache (text-level or fingerprint-level;
+    /// `hits == text_hits + fingerprint_hits`).
     pub hits: u64,
+    /// Hits at the text-memo level: byte-identical repeats that skipped
+    /// parsing entirely.
+    pub text_hits: u64,
+    /// Hits at the structural level: textually new requests whose parsed
+    /// circuit fingerprint was already prepared.
+    pub fingerprint_hits: u64,
     /// Requests that had to be prepared from scratch.
     pub misses: u64,
     /// Prepared circuits currently held.
     pub entries: usize,
     /// Configured capacity.
     pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Derives the stats from a registry [`Snapshot`] — the server's
+    /// one-snapshot `stats` path.
+    ///
+    /// [`Snapshot`]: deepgate::telemetry::Snapshot
+    pub fn from_snapshot(snapshot: &deepgate::telemetry::Snapshot) -> Self {
+        let text_hits = snapshot.counter("cache_text_hits_total");
+        let fingerprint_hits = snapshot.counter("cache_fingerprint_hits_total");
+        CacheStats {
+            hits: text_hits + fingerprint_hits,
+            text_hits,
+            fingerprint_hits,
+            misses: snapshot.counter("cache_misses_total"),
+            entries: snapshot.gauge("cache_entries").max(0) as usize,
+            capacity: snapshot.gauge("cache_capacity").max(0) as usize,
+        }
+    }
 }
 
 /// A thread-safe structural circuit cache.
@@ -109,8 +136,7 @@ pub struct CacheStats {
 #[derive(Debug)]
 pub struct CircuitCache {
     state: Mutex<CacheState>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    metrics: CacheMetrics,
 }
 
 #[derive(Debug)]
@@ -123,6 +149,16 @@ impl CircuitCache {
     /// Creates a cache holding up to `capacity` prepared circuits (0
     /// disables caching: every lookup misses and inserts are dropped).
     pub fn new(capacity: usize) -> Self {
+        // Standalone caches get a private registry; the Server shares one
+        // via `with_metrics`.
+        CircuitCache::with_metrics(capacity, CacheMetrics::registered(&Registry::new()))
+    }
+
+    /// [`CircuitCache::new`] recording into externally registered telemetry
+    /// handles, so the cache's series share a registry (and therefore a
+    /// snapshot) with the rest of the serving stack.
+    pub fn with_metrics(capacity: usize, metrics: CacheMetrics) -> Self {
+        metrics.capacity.set(capacity as i64);
         CircuitCache {
             state: Mutex::new(CacheState {
                 // Text keys are 16 bytes; a wider memo is effectively free
@@ -130,8 +166,7 @@ impl CircuitCache {
                 by_text: Lru::new(capacity.saturating_mul(4)),
                 by_fingerprint: Lru::new(capacity),
             }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            metrics,
         }
     }
 
@@ -143,7 +178,7 @@ impl CircuitCache {
         let fingerprint = state.by_text.get(&key)?;
         let prepared = state.by_fingerprint.get(&fingerprint);
         if prepared.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.text_hits.inc();
         }
         prepared
     }
@@ -159,11 +194,11 @@ impl CircuitCache {
         match state.by_fingerprint.get(&fingerprint) {
             Some(prepared) => {
                 state.by_text.insert(text_key, fingerprint);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.fingerprint_hits.inc();
                 Some(prepared)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.metrics.misses.inc();
                 None
             }
         }
@@ -176,14 +211,21 @@ impl CircuitCache {
         let mut state = self.state.lock().expect("cache lock");
         state.by_text.insert(text_key, fingerprint);
         state.by_fingerprint.insert(fingerprint, prepared);
+        self.metrics.entries.set(state.by_fingerprint.len() as i64);
     }
 
-    /// Current counters.
+    /// Current counters (each read individually; the server's `stats` verb
+    /// instead derives [`CacheStats`] from one registry snapshot via
+    /// [`CacheStats::from_snapshot`]).
     pub fn stats(&self) -> CacheStats {
         let state = self.state.lock().expect("cache lock");
+        let text_hits = self.metrics.text_hits.get();
+        let fingerprint_hits = self.metrics.fingerprint_hits.get();
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: text_hits + fingerprint_hits,
+            text_hits,
+            fingerprint_hits,
+            misses: self.metrics.misses.get(),
             entries: state.by_fingerprint.len(),
             capacity: state.by_fingerprint.capacity,
         }

@@ -37,6 +37,28 @@
 //! ← {"id": 3, "ok": true}
 //! ```
 //!
+//! Two more verbs expose the telemetry subsystem (see [`ServeMetrics`] for
+//! the full series list):
+//!
+//! - `{"op": "metrics"}` → `{"id": ..., "metrics": {"counters": {...},
+//!   "gauges": {...}, "histograms": {...}}}` — every counter and gauge by
+//!   name, and every latency/size histogram as `{count, sum, max, p50,
+//!   p90, p99, buckets}` with `buckets` a list of `[upper_bound, count]`
+//!   pairs. The whole object is rendered from ONE registry snapshot, so
+//!   its series are mutually consistent.
+//! - `{"op": "metrics_text"}` → `{"id": ..., "metrics_text": "..."}` — the
+//!   same snapshot in Prometheus text exposition format, series prefixed
+//!   `deepgate_`.
+//!
+//! With [`ServeConfig::slow_request_threshold`] set, any predict request at
+//! or over the threshold logs one structured stderr line naming its
+//! dominant stage:
+//!
+//! ```text
+//! slow-request verb=predict name=c6288 total_ms=12.480 dominant=infer \
+//!     parse_ms=0.031 infer_ms=11.975 respond_ms=0.102
+//! ```
+//!
 //! A predict request carries its circuit in exactly one of three fields:
 //!
 //! - `bench` — BENCH interchange text, inline.
@@ -64,10 +86,12 @@
 
 pub mod b64;
 mod cache;
+mod metrics;
 mod scheduler;
 mod server;
 
 pub use cache::{request_key, text_key, CacheStats, CircuitCache};
+pub use metrics::{snapshot_to_value, CacheMetrics, SchedulerMetrics, ServeMetrics};
 pub use scheduler::{Scheduler, SchedulerStats};
 pub use server::{Server, ServerStats};
 
@@ -98,6 +122,11 @@ pub struct ServeConfig {
     /// Structural-cache capacity in prepared circuits (default 256; 0
     /// disables caching).
     pub cache_capacity: usize,
+    /// Slow-request log threshold: a predict request whose end-to-end
+    /// latency reaches it gets one structured stderr line naming the
+    /// dominant stage (default `None` — disabled). `Some(Duration::ZERO)`
+    /// logs every predict request.
+    pub slow_request_threshold: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -111,6 +140,7 @@ impl Default for ServeConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             cache_capacity: 256,
+            slow_request_threshold: None,
         }
     }
 }

@@ -2,12 +2,13 @@
 //! worker threads that fuse concurrent requests into
 //! [`deepgate::InferenceSession`] batches.
 
+use crate::metrics::SchedulerMetrics;
 use crate::{ServeConfig, ServeError};
 use deepgate::gnn::CircuitGraph;
+use deepgate::telemetry::Registry;
 use deepgate::{InferenceSession, PreparedCircuit};
 use serde::Serialize;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -46,17 +47,25 @@ pub struct SchedulerStats {
     pub deduplicated: u64,
 }
 
-#[derive(Default)]
-struct Counters {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
-    rejected_overloaded: AtomicU64,
-    rejected_shutdown: AtomicU64,
-    batches: AtomicU64,
-    batched: AtomicU64,
-    max_batch_observed: AtomicU64,
-    deduplicated: AtomicU64,
+impl SchedulerStats {
+    /// Derives the stats from a registry [`Snapshot`] — the server's
+    /// one-snapshot `stats` path, so these values are consistent with every
+    /// other series read from the same snapshot.
+    ///
+    /// [`Snapshot`]: deepgate::telemetry::Snapshot
+    pub fn from_snapshot(snapshot: &deepgate::telemetry::Snapshot) -> Self {
+        SchedulerStats {
+            submitted: snapshot.counter("scheduler_submitted_total"),
+            completed: snapshot.counter("scheduler_completed_total"),
+            failed: snapshot.counter("scheduler_failed_total"),
+            rejected_overloaded: snapshot.counter("scheduler_rejected_overloaded_total"),
+            rejected_shutdown: snapshot.counter("scheduler_rejected_shutdown_total"),
+            batches: snapshot.counter("scheduler_batches_total"),
+            batched: snapshot.counter("scheduler_batched_requests_total"),
+            max_batch_observed: snapshot.counter("scheduler_max_batch"),
+            deduplicated: snapshot.counter("scheduler_deduplicated_total"),
+        }
+    }
 }
 
 struct QueueState {
@@ -71,7 +80,7 @@ struct Shared {
     queue_depth: usize,
     state: Mutex<QueueState>,
     not_empty: Condvar,
-    counters: Counters,
+    metrics: SchedulerMetrics,
 }
 
 /// The dynamic micro-batching scheduler.
@@ -108,6 +117,27 @@ impl Scheduler {
     ///
     /// Returns [`ServeError::Config`] if `max_batch` or `queue_depth` is 0.
     pub fn new(session: InferenceSession, config: &ServeConfig) -> Result<Scheduler, ServeError> {
+        // Standalone schedulers (tests, embedding without a Server) get a
+        // private registry; the Server shares one via `with_metrics`.
+        Scheduler::with_metrics(
+            session,
+            config,
+            SchedulerMetrics::registered(&Registry::new()),
+        )
+    }
+
+    /// [`Scheduler::new`] recording into externally registered telemetry
+    /// handles, so the scheduler's series share a registry (and therefore a
+    /// snapshot) with the rest of the serving stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] if `max_batch` or `queue_depth` is 0.
+    pub fn with_metrics(
+        session: InferenceSession,
+        config: &ServeConfig,
+        metrics: SchedulerMetrics,
+    ) -> Result<Scheduler, ServeError> {
         if config.max_batch == 0 {
             return Err(ServeError::Config("max_batch must be at least 1".into()));
         }
@@ -124,7 +154,7 @@ impl Scheduler {
                 open: true,
             }),
             not_empty: Condvar::new(),
-            counters: Counters::default(),
+            metrics,
         });
         let workers = (0..config.workers)
             .map(|index| {
@@ -162,27 +192,19 @@ impl Scheduler {
         {
             let mut state = self.shared.state.lock().expect("scheduler lock");
             if !state.open {
-                self.shared
-                    .counters
-                    .rejected_shutdown
-                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics.rejected_shutdown.inc();
                 return Err(ServeError::ShuttingDown);
             }
             if state.jobs.len() >= self.shared.queue_depth {
-                self.shared
-                    .counters
-                    .rejected_overloaded
-                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics.rejected_overloaded.inc();
                 return Err(ServeError::Overloaded {
                     depth: self.shared.queue_depth,
                 });
             }
             state.jobs.push_back(Job { circuit, respond });
+            self.shared.metrics.queue_depth.inc();
         }
-        self.shared
-            .counters
-            .submitted
-            .fetch_add(1, Ordering::Relaxed);
+        self.shared.metrics.submitted.inc();
         self.shared.not_empty.notify_one();
         Ok(receive)
     }
@@ -201,19 +223,21 @@ impl Scheduler {
             .unwrap_or(Err(ServeError::ShuttingDown))
     }
 
-    /// Current counters plus the queue's present length.
+    /// Current counters (each read individually; the server's `stats` verb
+    /// instead derives [`SchedulerStats`] from one registry snapshot via
+    /// [`SchedulerStats::from_snapshot`]).
     pub fn stats(&self) -> SchedulerStats {
-        let c = &self.shared.counters;
+        let m = &self.shared.metrics;
         SchedulerStats {
-            submitted: c.submitted.load(Ordering::Relaxed),
-            completed: c.completed.load(Ordering::Relaxed),
-            failed: c.failed.load(Ordering::Relaxed),
-            rejected_overloaded: c.rejected_overloaded.load(Ordering::Relaxed),
-            rejected_shutdown: c.rejected_shutdown.load(Ordering::Relaxed),
-            batches: c.batches.load(Ordering::Relaxed),
-            batched: c.batched.load(Ordering::Relaxed),
-            max_batch_observed: c.max_batch_observed.load(Ordering::Relaxed),
-            deduplicated: c.deduplicated.load(Ordering::Relaxed),
+            submitted: m.submitted.get(),
+            completed: m.completed.get(),
+            failed: m.failed.get(),
+            rejected_overloaded: m.rejected_overloaded.get(),
+            rejected_shutdown: m.rejected_shutdown.get(),
+            batches: m.batches.get(),
+            batched: m.batched_requests.get(),
+            max_batch_observed: m.max_batch.get(),
+            deduplicated: m.deduplicated.get(),
         }
     }
 
@@ -232,10 +256,11 @@ impl Scheduler {
             state.jobs.drain(..).collect()
         };
         self.shared.not_empty.notify_all();
+        self.shared.metrics.queue_depth.add(-(flushed.len() as i64));
         self.shared
-            .counters
+            .metrics
             .rejected_shutdown
-            .fetch_add(flushed.len() as u64, Ordering::Relaxed);
+            .add(flushed.len() as u64);
         for job in flushed {
             let _ = job.respond.send(Err(ServeError::ShuttingDown));
         }
@@ -268,10 +293,12 @@ fn next_batch(shared: &Shared) -> Option<Vec<Job>> {
     let mut state = shared.state.lock().expect("scheduler lock");
     loop {
         if let Some(first) = state.jobs.pop_front() {
+            shared.metrics.queue_depth.dec();
             let mut jobs = vec![first];
             let deadline = Instant::now() + shared.batch_window;
             while jobs.len() < shared.max_batch {
                 if let Some(job) = state.jobs.pop_front() {
+                    shared.metrics.queue_depth.dec();
                     jobs.push(job);
                     continue;
                 }
@@ -309,14 +336,12 @@ fn next_batch(shared: &Shared) -> Option<Vec<Job>> {
 /// falls back to per-circuit prediction so one poisoned request cannot fail
 /// its batch-mates.
 fn execute(shared: &Shared, jobs: Vec<Job>) {
-    let counters = &shared.counters;
-    counters.batches.fetch_add(1, Ordering::Relaxed);
-    counters
-        .batched
-        .fetch_add(jobs.len() as u64, Ordering::Relaxed);
-    counters
-        .max_batch_observed
-        .fetch_max(jobs.len() as u64, Ordering::Relaxed);
+    let metrics = &shared.metrics;
+    let batch_start = Instant::now();
+    metrics.batches.inc();
+    metrics.batched_requests.add(jobs.len() as u64);
+    metrics.max_batch.record_max(jobs.len() as u64);
+    metrics.batch_size.record(jobs.len() as u64);
 
     // Group jobs by circuit identity (Arc pointer): cheap, and exact for
     // cache-served repeats. Uncached duplicates simply form singleton
@@ -333,9 +358,7 @@ fn execute(shared: &Shared, jobs: Vec<Job>) {
         });
         group_of_job.push(group);
     }
-    counters
-        .deduplicated
-        .fetch_add((jobs.len() - groups.len()) as u64, Ordering::Relaxed);
+    metrics.deduplicated.add((jobs.len() - groups.len()) as u64);
 
     let distinct: Result<Vec<Vec<f32>>, ServeError> = if groups.len() == 1 {
         // One distinct circuit: its cached plan serves directly, no fusing.
@@ -356,28 +379,43 @@ fn execute(shared: &Shared, jobs: Vec<Job>) {
             .map_err(ServeError::Engine)
     };
 
+    // The batch latency is recorded BEFORE responses are routed: once a
+    // submitter holds its result, every series this batch touched is
+    // already visible, so a snapshot taken at quiescence is exact
+    // (`batch_latency_ns.count == scheduler_batches_total`).
     match distinct {
         Ok(results) => {
+            metrics
+                .batch_latency_ns
+                .record_duration(batch_start.elapsed());
             for (job, &group) in jobs.iter().zip(&group_of_job) {
-                counters.completed.fetch_add(1, Ordering::Relaxed);
+                metrics.completed.inc();
                 let _ = job.respond.send(Ok(results[group].clone()));
             }
         }
         Err(_) => {
-            for job in &jobs {
-                let mut out = Vec::new();
-                let result = shared
-                    .session
-                    .predict_into(&job.circuit, &mut out)
-                    .map(|()| out)
-                    .map_err(ServeError::Engine);
+            let results: Vec<Result<Vec<f32>, ServeError>> = jobs
+                .iter()
+                .map(|job| {
+                    let mut out = Vec::new();
+                    shared
+                        .session
+                        .predict_into(&job.circuit, &mut out)
+                        .map(|()| out)
+                        .map_err(ServeError::Engine)
+                })
+                .collect();
+            metrics
+                .batch_latency_ns
+                .record_duration(batch_start.elapsed());
+            for (job, result) in jobs.iter().zip(results) {
                 match result {
                     Ok(probs) => {
-                        counters.completed.fetch_add(1, Ordering::Relaxed);
+                        metrics.completed.inc();
                         let _ = job.respond.send(Ok(probs));
                     }
                     Err(e) => {
-                        counters.failed.fetch_add(1, Ordering::Relaxed);
+                        metrics.failed.inc();
                         let _ = job.respond.send(Err(e));
                     }
                 }

@@ -2,9 +2,10 @@
 //! persistent connections, with graceful drain on shutdown.
 
 use crate::{
-    b64, request_key, text_key, CacheStats, CircuitCache, Scheduler, SchedulerStats, ServeConfig,
-    ServeError,
+    b64, request_key, snapshot_to_value, text_key, CacheStats, CircuitCache, Scheduler,
+    SchedulerStats, ServeConfig, ServeError, ServeMetrics,
 };
+use deepgate::telemetry::{RequestTrace, SlowLog, Stage};
 use deepgate::{AigerBytes, BenchText, Engine, LatchPolicy, PreparedCircuit};
 use serde::{Serialize, Value};
 use std::io::{BufRead, BufReader, Write};
@@ -29,13 +30,14 @@ struct Inner {
     engine: Engine,
     scheduler: Scheduler,
     cache: CircuitCache,
+    metrics: ServeMetrics,
+    slow_log: Option<SlowLog>,
     addr: SocketAddr,
     /// Set once shutdown is requested; new predict requests are refused.
     draining: AtomicBool,
     /// Signalled when a shutdown request arrives (wire verb or API call).
     shutdown_requested: (Mutex<bool>, Condvar),
     connections: Mutex<Vec<(JoinHandle<()>, TcpStream)>>,
-    accepted: std::sync::atomic::AtomicU64,
 }
 
 /// The serving front end: owns the engine, the scheduler, the cache and the
@@ -64,13 +66,19 @@ impl Server {
     /// Returns [`ServeError::Config`] for inconsistent settings (including
     /// `workers == 0`, which only [`Scheduler::new`] accepts) and
     /// [`ServeError::Io`] if the address cannot be bound.
-    pub fn start(engine: Engine, config: ServeConfig) -> Result<Server, ServeError> {
+    pub fn start(mut engine: Engine, config: ServeConfig) -> Result<Server, ServeError> {
         if config.workers == 0 {
             return Err(ServeError::Config(
                 "a server needs at least one worker".into(),
             ));
         }
-        let scheduler = Scheduler::new(engine.session(), &config)?;
+        // One registry for the whole serving stack: the engine, the GNN
+        // kernel, the scheduler's workers, the cache and the request path
+        // all record into `metrics`, so one snapshot reads them all.
+        let metrics = ServeMetrics::new();
+        engine.set_metrics(Arc::clone(&metrics.engine));
+        let scheduler =
+            Scheduler::with_metrics(engine.session(), &config, metrics.scheduler.clone())?;
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| ServeError::Io(format!("binding {}: {e}", config.addr)))?;
         let addr = listener
@@ -79,12 +87,13 @@ impl Server {
         let inner = Arc::new(Inner {
             engine,
             scheduler,
-            cache: CircuitCache::new(config.cache_capacity),
+            cache: CircuitCache::with_metrics(config.cache_capacity, metrics.cache.clone()),
+            slow_log: config.slow_request_threshold.map(SlowLog::new),
+            metrics,
             addr,
             draining: AtomicBool::new(false),
             shutdown_requested: (Mutex::new(false), Condvar::new()),
             connections: Mutex::new(Vec::new()),
-            accepted: std::sync::atomic::AtomicU64::new(0),
         });
         let accept_inner = Arc::clone(&inner);
         let listener_thread = std::thread::Builder::new()
@@ -103,9 +112,15 @@ impl Server {
         self.inner.addr
     }
 
-    /// Current counters.
+    /// Current counters, derived from one telemetry snapshot.
     pub fn stats(&self) -> ServerStats {
         self.inner.stats()
+    }
+
+    /// The server's telemetry: every series of the serving stack, readable
+    /// through one consistent [`ServeMetrics::snapshot`].
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.inner.metrics
     }
 
     /// Marks the server as draining without blocking: the wire `shutdown`
@@ -170,11 +185,15 @@ impl Drop for Server {
 }
 
 impl Inner {
+    /// Builds the `stats` response from ONE registry snapshot, so the
+    /// scheduler and cache sections describe the same instant instead of
+    /// being polled from each subsystem separately.
     fn stats(&self) -> ServerStats {
+        let snapshot = self.metrics.snapshot();
         ServerStats {
-            scheduler: self.scheduler.stats(),
-            cache: self.cache.stats(),
-            connections: self.accepted.load(Ordering::Relaxed),
+            scheduler: SchedulerStats::from_snapshot(&snapshot),
+            cache: CacheStats::from_snapshot(&snapshot),
+            connections: snapshot.counter("connections_accepted_total"),
         }
     }
 
@@ -187,13 +206,18 @@ impl Inner {
 
     /// Resolves a request payload to a prepared circuit through the
     /// two-level structural cache; misses run the full parse → transform →
-    /// encode → plan pipeline.
-    fn resolve(&self, payload: &RequestPayload) -> Result<Arc<PreparedCircuit>, ServeError> {
+    /// encode → plan pipeline, attributed to the trace's `Encode` and
+    /// `Plan` stages (cache hits skip both, so those stages stay untouched).
+    fn resolve(
+        &self,
+        payload: &RequestPayload,
+        trace: &mut RequestTrace,
+    ) -> Result<Arc<PreparedCircuit>, ServeError> {
         let key = payload.cache_key();
         if let Some(prepared) = self.cache.lookup_text(key) {
             return Ok(prepared);
         }
-        let circuits = match payload {
+        let circuits = trace.time(Stage::Encode, || match payload {
             RequestPayload::Bench { name, text } => self
                 .engine
                 .prepare_unlabelled(&BenchText::new(name.as_str(), text.as_str())),
@@ -204,7 +228,7 @@ impl Inner {
             } => self.engine.prepare_unlabelled(
                 &AigerBytes::new(name.as_str(), bytes.clone()).latch_policy(*policy),
             ),
-        };
+        });
         let circuit = circuits
             .map_err(|e| ServeError::BadRequest(e.to_string()))?
             .pop()
@@ -212,7 +236,9 @@ impl Inner {
         if let Some(prepared) = self.cache.lookup_fingerprint(key, circuit.fingerprint()) {
             return Ok(prepared);
         }
-        let prepared = Arc::new(self.scheduler.session().prepare(circuit));
+        let prepared = trace.time(Stage::Plan, || {
+            Arc::new(self.scheduler.session().prepare(circuit))
+        });
         self.cache.insert(key, Arc::clone(&prepared));
         Ok(prepared)
     }
@@ -319,7 +345,7 @@ fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
             return; // the wake-up connection (or any later one) is dropped
         }
         let Ok(stream) = stream else { continue };
-        inner.accepted.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.connections_accepted.inc();
         // Reap connections that have already closed, so a long-running
         // server churning through short-lived clients does not accumulate
         // one cloned socket and join handle per connection forever.
@@ -358,7 +384,20 @@ fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
 /// off here instead of growing the line buffer until the process OOMs.
 const MAX_REQUEST_BYTES: u64 = 8 * 1024 * 1024;
 
+/// Decrements the open-connections gauge (and counts the close) when a
+/// connection thread exits, whichever return path it takes.
+struct ConnectionGuard<'a>(&'a ServeMetrics);
+
+impl Drop for ConnectionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.connections_open.dec();
+        self.0.connections_closed.inc();
+    }
+}
+
 fn connection_loop(inner: &Arc<Inner>, stream: TcpStream) {
+    inner.metrics.connections_open.inc();
+    let _guard = ConnectionGuard(&inner.metrics);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -373,6 +412,8 @@ fn connection_loop(inner: &Arc<Inner>, stream: TcpStream) {
                 if !line.ends_with('\n') && line.len() as u64 >= MAX_REQUEST_BYTES {
                     // The limit was hit mid-line; no way to resync, so
                     // report and drop the connection.
+                    inner.metrics.requests_unknown.inc();
+                    inner.metrics.request_errors.inc();
                     let _ = writer.write_all(
                         format!("{{\"error\":\"request exceeds {MAX_REQUEST_BYTES} bytes\"}}\n")
                             .as_bytes(),
@@ -382,16 +423,39 @@ fn connection_loop(inner: &Arc<Inner>, stream: TcpStream) {
                 if line.trim().is_empty() {
                     continue;
                 }
-                let (response, shutdown) = handle_line(inner, &line);
-                let mut payload = match serde_json::to_string(&response) {
-                    Ok(json) => json,
-                    Err(_) => r#"{"error":"internal: response serialisation failed"}"#.into(),
-                };
-                payload.push('\n');
-                if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
+                let mut trace = RequestTrace::start();
+                let outcome = handle_line(inner, &line, &mut trace);
+                if outcome
+                    .response
+                    .as_object()
+                    .is_some_and(|fields| fields.contains_key("error"))
+                {
+                    inner.metrics.request_errors.inc();
+                }
+                let write_ok = trace.time(Stage::Respond, || {
+                    let mut payload = match serde_json::to_string(&outcome.response) {
+                        Ok(json) => json,
+                        Err(_) => r#"{"error":"internal: response serialisation failed"}"#.into(),
+                    };
+                    payload.push('\n');
+                    writer.write_all(payload.as_bytes()).is_ok() && writer.flush().is_ok()
+                });
+                // Stage histograms and the slow log track predict requests
+                // only, so `request_latency_ns.count` equals
+                // `requests_predict_total` exactly.
+                if let Some(name) = &outcome.predict {
+                    inner.metrics.stages.observe(&trace);
+                    if let Some(slow) = &inner.slow_log {
+                        if let Some(record) = slow.check("predict", name, &trace) {
+                            inner.metrics.slow_requests.inc();
+                            eprintln!("{record}");
+                        }
+                    }
+                }
+                if !write_ok {
                     return;
                 }
-                if shutdown {
+                if outcome.shutdown {
                     // Respond first, then begin the drain; the drain joins
                     // this thread, so only flag the request here.
                     inner.request_shutdown();
@@ -403,62 +467,133 @@ fn connection_loop(inner: &Arc<Inner>, stream: TcpStream) {
     }
 }
 
-/// Parses and dispatches one request line. Returns the response value and
-/// whether the connection requested a server shutdown.
-fn handle_line(inner: &Arc<Inner>, line: &str) -> (Value, bool) {
-    let parsed: Result<Value, _> = serde_json::from_str(line.trim());
+/// The result of dispatching one request line.
+struct LineOutcome {
+    response: Value,
+    /// The connection requested a server shutdown.
+    shutdown: bool,
+    /// `Some(request name)` when the line was a predict request — only
+    /// those fold into the stage histograms and the slow log.
+    predict: Option<String>,
+}
+
+impl LineOutcome {
+    fn reply(response: Value) -> Self {
+        LineOutcome {
+            response,
+            shutdown: false,
+            predict: None,
+        }
+    }
+}
+
+/// Parses and dispatches one request line, attributing stage timings to
+/// `trace` (JSON parsing and payload extraction → `Parse`; `Encode`/`Plan`
+/// inside [`Inner::resolve`] on cache misses; queueing + model execution →
+/// `Infer`; the caller times `Respond` around the socket write).
+fn handle_line(inner: &Arc<Inner>, line: &str, trace: &mut RequestTrace) -> LineOutcome {
+    let parsed: Result<Value, _> = trace.time(Stage::Parse, || serde_json::from_str(line.trim()));
     let request = match parsed {
         Ok(value) => value,
-        Err(e) => return (error_response(None, &format!("invalid JSON: {e}")), false),
+        Err(e) => {
+            inner.metrics.requests_unknown.inc();
+            return LineOutcome::reply(error_response(None, &format!("invalid JSON: {e}")));
+        }
     };
     let Some(fields) = request.as_object() else {
-        return (error_response(None, "request must be a JSON object"), false);
+        inner.metrics.requests_unknown.inc();
+        return LineOutcome::reply(error_response(None, "request must be a JSON object"));
     };
     let id = fields.get("id").cloned();
     let op = match fields.get("op") {
         Some(Value::Str(op)) => op.as_str(),
-        Some(_) => return (error_response(id, "`op` must be a string"), false),
+        Some(_) => {
+            inner.metrics.requests_unknown.inc();
+            return LineOutcome::reply(error_response(id, "`op` must be a string"));
+        }
         None => "predict",
     };
     match op {
         "stats" => {
+            inner.metrics.requests_stats.inc();
             let mut response = object_with_id(id);
             response.insert("stats".to_string(), inner.stats().serialize());
-            (Value::Object(response), false)
+            LineOutcome::reply(Value::Object(response))
+        }
+        "metrics" => {
+            inner.metrics.requests_metrics.inc();
+            let mut response = object_with_id(id);
+            response.insert(
+                "metrics".to_string(),
+                snapshot_to_value(&inner.metrics.snapshot()),
+            );
+            LineOutcome::reply(Value::Object(response))
+        }
+        "metrics_text" => {
+            inner.metrics.requests_metrics_text.inc();
+            let mut response = object_with_id(id);
+            response.insert(
+                "metrics_text".to_string(),
+                Value::Str(inner.metrics.snapshot().to_prometheus("deepgate")),
+            );
+            LineOutcome::reply(Value::Object(response))
         }
         "shutdown" => {
+            inner.metrics.requests_shutdown.inc();
             let mut response = object_with_id(id);
             response.insert("ok".to_string(), Value::Bool(true));
-            (Value::Object(response), true)
+            LineOutcome {
+                response: Value::Object(response),
+                shutdown: true,
+                predict: None,
+            }
         }
         "predict" => {
-            if inner.draining.load(Ordering::SeqCst) {
-                return (
-                    error_response(id, &ServeError::ShuttingDown.to_string()),
-                    false,
-                );
-            }
+            inner.metrics.requests_predict.inc();
             let name = match fields.get("name") {
                 Some(Value::Str(name)) => name.as_str(),
                 _ => "request",
             };
-            let payload = match parse_payload(fields, name) {
+            let predict = Some(name.to_string());
+            if inner.draining.load(Ordering::SeqCst) {
+                return LineOutcome {
+                    response: error_response(id, &ServeError::ShuttingDown.to_string()),
+                    shutdown: false,
+                    predict,
+                };
+            }
+            let payload = match trace.time(Stage::Parse, || parse_payload(fields, name)) {
                 Ok(payload) => payload,
-                Err(message) => return (error_response(id, &message), false),
+                Err(message) => {
+                    return LineOutcome {
+                        response: error_response(id, &message),
+                        shutdown: false,
+                        predict,
+                    }
+                }
             };
-            let outcome = inner
-                .resolve(&payload)
-                .and_then(|prepared| inner.scheduler.predict(prepared));
-            match outcome {
+            let outcome = match inner.resolve(&payload, trace) {
+                Ok(prepared) => trace.time(Stage::Infer, || inner.scheduler.predict(prepared)),
+                Err(e) => Err(e),
+            };
+            let response = match outcome {
                 Ok(probs) => {
                     let mut response = object_with_id(id);
                     response.insert("probs".to_string(), probs.serialize());
-                    (Value::Object(response), false)
+                    Value::Object(response)
                 }
-                Err(e) => (error_response(id, &e.to_string()), false),
+                Err(e) => error_response(id, &e.to_string()),
+            };
+            LineOutcome {
+                response,
+                shutdown: false,
+                predict,
             }
         }
-        other => (error_response(id, &format!("unknown op `{other}`")), false),
+        other => {
+            inner.metrics.requests_unknown.inc();
+            LineOutcome::reply(error_response(id, &format!("unknown op `{other}`")))
+        }
     }
 }
 

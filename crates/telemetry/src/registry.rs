@@ -1,0 +1,256 @@
+//! The metrics registry: named series, consistent snapshots and
+//! Prometheus-style text exposition.
+
+use crate::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A registry of named metric series.
+///
+/// Subsystems register their series once at construction
+/// ([`Registry::counter`] / [`Registry::gauge`] / [`Registry::histogram`]
+/// get-or-create by name and hand back shared atomic handles); consumers
+/// call [`Registry::snapshot`] to read every series in one pass. The
+/// registry lock is only taken at registration and snapshot time — never on
+/// the recording path.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind —
+    /// a programming error in the instrumentation layer.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().expect("registry lock");
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())));
+        match metric {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric `{name}` is already registered as a non-counter"),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().expect("registry lock");
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())));
+        match metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric `{name}` is already registered as a non-gauge"),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it on first
+    /// use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock().expect("registry lock");
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())));
+        match metric {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric `{name}` is already registered as a non-histogram"),
+        }
+    }
+
+    /// Reads every registered series once, in one pass, into an immutable
+    /// [`Snapshot`].
+    ///
+    /// Counters are monotone, so any series in a later snapshot is ≥ its
+    /// value in an earlier one — a consumer comparing two snapshots never
+    /// sees a counter go backwards, and paired series (e.g. scheduler
+    /// completions and cache hits) are read at one place instead of being
+    /// assembled from subsystems polled at different instants.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock().expect("registry lock");
+        let mut snapshot = Snapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snapshot.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snapshot.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    snapshot.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snapshot
+    }
+}
+
+/// A point-in-time view of every series of a [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// A counter's value, 0 if the series does not exist.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's level, 0 if the series does not exist.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram's snapshot, if the series exists.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Renders the snapshot as Prometheus-style text exposition. Series
+    /// names get `prefix_` prepended; histograms expose cumulative
+    /// `_bucket{le="…"}` series plus `_sum` and `_count` per convention.
+    pub fn to_prometheus(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "# TYPE {prefix}_{name} counter");
+            let _ = writeln!(out, "{prefix}_{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {prefix}_{name} gauge");
+            let _ = writeln!(out, "{prefix}_{name} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {prefix}_{name} histogram");
+            let mut cumulative = 0u64;
+            for bucket in &h.buckets {
+                cumulative += bucket.count;
+                let _ = writeln!(
+                    out,
+                    "{prefix}_{name}_bucket{{le=\"{}\"}} {cumulative}",
+                    bucket.le
+                );
+            }
+            let _ = writeln!(out, "{prefix}_{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{prefix}_{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{prefix}_{name}_count {}", h.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_get_or_create() {
+        let registry = Registry::new();
+        let a = registry.counter("events_total");
+        let b = registry.counter("events_total");
+        a.inc();
+        b.add(2);
+        // Same underlying atomic.
+        assert_eq!(registry.snapshot().counter("events_total"), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-counter")]
+    fn kind_clash_panics() {
+        let registry = Registry::new();
+        registry.gauge("depth");
+        registry.counter("depth");
+    }
+
+    #[test]
+    fn snapshot_reads_every_series() {
+        let registry = Registry::new();
+        registry.counter("a_total").add(4);
+        registry.gauge("b_depth").set(-2);
+        registry.histogram("c_ns").record(100);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("a_total"), 4);
+        assert_eq!(snap.gauge("b_depth"), -2);
+        assert_eq!(snap.histogram("c_ns").expect("exists").count, 1);
+        assert_eq!(snap.counter("missing"), 0);
+        assert!(snap.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn snapshots_are_monotone_under_concurrent_load() {
+        let registry = std::sync::Arc::new(Registry::new());
+        let counter = registry.counter("work_total");
+        let writer = {
+            let counter = std::sync::Arc::clone(&counter);
+            std::thread::spawn(move || {
+                for _ in 0..50_000 {
+                    counter.inc();
+                }
+            })
+        };
+        let mut last = 0u64;
+        for _ in 0..100 {
+            let now = registry.snapshot().counter("work_total");
+            assert!(now >= last, "counter went backwards: {last} -> {now}");
+            last = now;
+        }
+        writer.join().expect("writer thread");
+        assert_eq!(registry.snapshot().counter("work_total"), 50_000);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let registry = Registry::new();
+        registry.counter("requests_total").add(9);
+        registry.gauge("queue_depth").set(3);
+        let h = registry.histogram("latency_ns");
+        h.record(10);
+        h.record(2_000);
+        let text = registry.snapshot().to_prometheus("deepgate");
+        assert!(text.contains("# TYPE deepgate_requests_total counter"));
+        assert!(text.contains("deepgate_requests_total 9"));
+        assert!(text.contains("# TYPE deepgate_queue_depth gauge"));
+        assert!(text.contains("deepgate_queue_depth 3"));
+        assert!(text.contains("# TYPE deepgate_latency_ns histogram"));
+        assert!(text.contains("deepgate_latency_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("deepgate_latency_ns_sum 2010"));
+        assert!(text.contains("deepgate_latency_ns_count 2"));
+        // Buckets are cumulative: the last finite bucket equals the count.
+        let last_finite = text
+            .lines()
+            .rfind(|l| l.contains("_bucket{le=\"") && !l.contains("+Inf"))
+            .expect("finite buckets");
+        assert!(last_finite.ends_with(" 2"), "got: {last_finite}");
+    }
+}

@@ -16,6 +16,12 @@
 //!   base64-encoded, and sequential circuits pick a latch policy (default
 //!   `cut`)
 //! - `{"id": …, "op": "stats"}` → `{"id": …, "stats": {…}}`
+//! - `{"id": …, "op": "metrics"}` → `{"id": …, "metrics": {"counters": {…},
+//!   "gauges": {…}, "histograms": {…}}}` — one consistent telemetry
+//!   snapshot: per-verb counters, per-stage latency histograms with
+//!   p50/p90/p99, batching and cache series
+//! - `{"id": …, "op": "metrics_text"}` → the same snapshot in Prometheus
+//!   text exposition format
 //! - `{"id": …, "op": "shutdown"}` → `{"id": …, "ok": true}`, then the
 //!   server drains gracefully
 //! - anything malformed → `{"id": …, "error": "…"}`
@@ -83,6 +89,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         queue_depth: 256,
         workers: 2,
         cache_capacity: 32,
+        // Zero threshold: every predict request logs one slow-request line
+        // to stderr, naming its dominant stage — watch for them between the
+        // request/response pairs below.
+        slow_request_threshold: Some(Duration::ZERO),
     };
     let server = Server::start(engine, config)?;
     println!("deepgate-serve listening on {}\n", server.local_addr());
@@ -132,6 +142,100 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The stats verb: batching, cache and connection counters.
     roundtrip(&mut reader, &mut writer, r#"{"id": "s", "op": "stats"}"#)?;
+
+    // The metrics verb: the full telemetry snapshot. Print the per-stage
+    // latency breakdown a monitoring agent would alert on.
+    {
+        println!("→ {{\"id\": \"m\", \"op\": \"metrics\"}}");
+        writer.write_all(b"{\"id\": \"m\", \"op\": \"metrics\"}\n")?;
+        writer.flush()?;
+        let mut response = String::new();
+        reader.read_line(&mut response)?;
+        let parsed: serde_json::Value = serde_json::from_str(&response)?;
+        let metrics = parsed
+            .as_object()
+            .and_then(|o| o.get("metrics"))
+            .and_then(serde_json::Value::as_object)
+            .expect("metrics response carries a `metrics` object");
+        let histograms = metrics["histograms"]
+            .as_object()
+            .expect("histograms object");
+        println!("← per-stage latency breakdown (from one snapshot):");
+        for (name, histogram) in histograms {
+            let Some(fields) = histogram.as_object() else {
+                continue;
+            };
+            let uint = |key: &str| match fields.get(key) {
+                Some(serde_json::Value::UInt(v)) => *v,
+                _ => 0,
+            };
+            if name.starts_with("stage_") || name == "request_latency_ns" {
+                println!(
+                    "    {name:<22} count {:>3}  p50 {:>9} ns  p99 {:>9} ns  max {:>9} ns",
+                    uint("count"),
+                    uint("p50"),
+                    uint("p99"),
+                    uint("max"),
+                );
+            }
+        }
+        let counters = metrics["counters"].as_object().expect("counters object");
+        let counter = |name: &str| match counters.get(name) {
+            Some(serde_json::Value::UInt(v)) => *v,
+            _ => 0,
+        };
+        let predicts = counter("requests_predict_total");
+        println!(
+            "    predicts {predicts}, batches {}, cache {} hits / {} misses, slow-logged {}\n",
+            counter("scheduler_batches_total"),
+            counter("cache_text_hits_total") + counter("cache_fingerprint_hits_total"),
+            counter("cache_misses_total"),
+            counter("slow_requests_total"),
+        );
+        // The demo sent 6 predicts; the telemetry must account for all of
+        // them, in every series that records once per predict.
+        assert_eq!(predicts, 6, "six predict requests were sent");
+        assert_eq!(counter("slow_requests_total"), predicts);
+        let latency = histograms["request_latency_ns"]
+            .as_object()
+            .expect("request_latency_ns object");
+        assert!(
+            matches!(latency.get("count"), Some(serde_json::Value::UInt(n)) if *n == predicts),
+            "request_latency_ns must record once per predict"
+        );
+    }
+
+    // The same snapshot as Prometheus text exposition, for scrape-based
+    // monitoring. Two lines are plenty to show the shape.
+    {
+        println!("→ {{\"id\": \"t\", \"op\": \"metrics_text\"}}");
+        writer.write_all(b"{\"id\": \"t\", \"op\": \"metrics_text\"}\n")?;
+        writer.flush()?;
+        let mut response = String::new();
+        reader.read_line(&mut response)?;
+        let parsed: serde_json::Value = serde_json::from_str(&response)?;
+        let text = parsed
+            .as_object()
+            .and_then(|o| o.get("metrics_text"))
+            .and_then(|v| match v {
+                serde_json::Value::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .expect("metrics_text response carries text");
+        assert!(text.contains("deepgate_requests_predict_total 6"));
+        let shown: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("requests_predict_total") || l.contains("latency_ns_count"))
+            .collect();
+        println!(
+            "← {} lines of Prometheus exposition, e.g.:",
+            text.lines().count()
+        );
+        for line in shown {
+            println!("    {line}");
+        }
+        println!();
+    }
 
     // Graceful shutdown: the verb is acknowledged, then the server drains.
     roundtrip(&mut reader, &mut writer, r#"{"id": "q", "op": "shutdown"}"#)?;

@@ -1,7 +1,7 @@
 //! The [`Engine`]: one coherent surface over dataset preparation, training,
 //! evaluation, checkpointing and inference.
 
-use crate::{CircuitSource, DeepGateError, InferenceSession};
+use crate::{CircuitSource, DeepGateError, EngineMetrics, InferenceSession};
 use deepgate_aig::{opt, Aig};
 use deepgate_core::{DeepGate, DeepGateConfig, Trainer, TrainerConfig, TrainingHistory};
 use deepgate_dataset::{labelled_circuit_from_aig, labelled_circuit_from_netlist};
@@ -9,6 +9,8 @@ use deepgate_gnn::{CircuitGraph, FeatureEncoding, GnnError};
 use deepgate_nn::Tensor;
 use rayon::prelude::*;
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Labelling and transformation settings shared by every circuit the engine
 /// prepares.
@@ -40,6 +42,7 @@ pub struct EngineBuilder {
     trainer: TrainerConfig,
     pipeline: PipelineConfig,
     checkpoint_json: Option<String>,
+    metrics: Option<Arc<EngineMetrics>>,
 }
 
 impl Default for EngineBuilder {
@@ -55,6 +58,7 @@ impl Default for EngineBuilder {
                 optimize_rounds: 2,
             },
             checkpoint_json: None,
+            metrics: None,
         }
     }
 }
@@ -102,6 +106,15 @@ impl EngineBuilder {
     /// Enables or disables the AIG optimisation passes (default enabled).
     pub fn optimize_aig(mut self, optimize: bool) -> Self {
         self.pipeline.optimize = optimize;
+        self
+    }
+
+    /// Attaches telemetry: every circuit the engine prepares and every
+    /// planned prediction its sessions run records stage timings into the
+    /// given [`EngineMetrics`] handles (see [`crate::telemetry`]). Without
+    /// this the engine records nothing.
+    pub fn metrics(mut self, metrics: Arc<EngineMetrics>) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -189,6 +202,7 @@ impl EngineBuilder {
             model,
             trainer: self.trainer,
             pipeline: self.pipeline,
+            metrics: self.metrics,
         })
     }
 }
@@ -204,6 +218,7 @@ pub struct Engine {
     model: DeepGate,
     trainer: TrainerConfig,
     pipeline: PipelineConfig,
+    metrics: Option<Arc<EngineMetrics>>,
 }
 
 impl Engine {
@@ -241,6 +256,19 @@ impl Engine {
         &self.model
     }
 
+    /// Attaches (or replaces) the telemetry handles after construction —
+    /// the serving layer registers its registry once and hands the engine
+    /// its slice of it. Sessions opened *after* this call inherit the
+    /// handles.
+    pub fn set_metrics(&mut self, metrics: Arc<EngineMetrics>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The attached telemetry handles, if any.
+    pub fn engine_metrics(&self) -> Option<&Arc<EngineMetrics>> {
+        self.metrics.as_ref()
+    }
+
     /// Ingests circuits from a source and prepares them for learning:
     /// (optional) AIG transformation and optimisation, signal-probability
     /// labelling by logic simulation, and circuit-graph encoding. Circuits
@@ -252,12 +280,14 @@ impl Engine {
     pub fn prepare(&self, source: &dyn CircuitSource) -> Result<Vec<CircuitGraph>, DeepGateError> {
         let netlists = source.netlists()?;
         let pipeline = self.pipeline;
+        let metrics = self.metrics.as_deref();
         let graphs: Result<Vec<CircuitGraph>, DeepGateError> = netlists
             .par_iter()
             .enumerate()
             .map(|(index, netlist)| {
+                let ingest_start = metrics.map(|_| Instant::now());
                 let seed = pipeline.label_seed ^ ((index as u64 + 1) << 20);
-                if pipeline.transform_to_aig {
+                let graph = if pipeline.transform_to_aig {
                     let aig = Aig::from_netlist(netlist)?;
                     let aig = if pipeline.optimize {
                         opt::optimize(&aig, pipeline.optimize_rounds)
@@ -276,7 +306,11 @@ impl Engine {
                         pipeline.num_patterns,
                         seed,
                     )?)
+                };
+                if let (Some(m), Some(start)) = (metrics, ingest_start) {
+                    m.ingest_ns.record_duration(start.elapsed());
                 }
+                graph
             })
             .collect();
         graphs
@@ -297,10 +331,12 @@ impl Engine {
     ) -> Result<Vec<CircuitGraph>, DeepGateError> {
         let netlists = source.netlists()?;
         let pipeline = self.pipeline;
+        let metrics = self.metrics.as_deref();
         netlists
             .par_iter()
             .map(|netlist| {
-                if pipeline.transform_to_aig {
+                let ingest_start = metrics.map(|_| Instant::now());
+                let graph = if pipeline.transform_to_aig {
                     let aig = Aig::from_netlist(netlist)?;
                     let aig = if pipeline.optimize {
                         opt::optimize(&aig, pipeline.optimize_rounds)
@@ -315,7 +351,11 @@ impl Engine {
                         FeatureEncoding::AllGates,
                         None,
                     ))
+                };
+                if let (Some(m), Some(start)) = (metrics, ingest_start) {
+                    m.ingest_ns.record_duration(start.elapsed());
                 }
+                graph
             })
             .collect()
     }
@@ -419,14 +459,23 @@ impl Engine {
     }
 
     /// Opens an inference session over a clone of the current weights (the
-    /// engine stays available for further training).
+    /// engine stays available for further training). The session inherits
+    /// the engine's telemetry handles.
     pub fn session(&self) -> InferenceSession {
-        InferenceSession::new(self.model.clone())
+        let session = InferenceSession::new(self.model.clone());
+        match &self.metrics {
+            Some(metrics) => session.with_metrics(Arc::clone(metrics)),
+            None => session,
+        }
     }
 
     /// Consumes the engine into an inference session without cloning the
-    /// weights.
+    /// weights. The session inherits the engine's telemetry handles.
     pub fn into_session(self) -> InferenceSession {
-        InferenceSession::new(self.model)
+        let session = InferenceSession::new(self.model);
+        match self.metrics {
+            Some(metrics) => session.with_metrics(metrics),
+            None => session,
+        }
     }
 }

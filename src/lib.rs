@@ -80,15 +80,18 @@ pub use deepgate_gnn as gnn;
 pub use deepgate_netlist as netlist;
 pub use deepgate_nn as nn;
 pub use deepgate_sim as sim;
+pub use deepgate_telemetry as telemetry;
 
 mod engine;
 mod error;
+mod metrics;
 mod session;
 mod source;
 
 pub use deepgate_aig::LatchPolicy;
 pub use engine::{Engine, EngineBuilder};
 pub use error::DeepGateError;
+pub use metrics::EngineMetrics;
 pub use session::{InferenceSession, PreparedCircuit};
 pub use source::{
     AigerBytes, AigerFile, AigerText, BenchFile, BenchText, CircuitSource, LargeDesignSource,

@@ -1,9 +1,11 @@
 //! [`InferenceSession`] — the batched, allocation-reusing serving hot path.
 
-use crate::DeepGateError;
+use crate::{DeepGateError, EngineMetrics};
 use deepgate_core::DeepGate;
 use deepgate_gnn::{CircuitGraph, InferencePlan};
 use rayon::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A circuit packaged with its precomputed [`InferencePlan`], ready for
 /// repeated low-overhead prediction (see [`InferenceSession::prepare`]).
@@ -78,19 +80,33 @@ impl PreparedBatch {
 pub struct InferenceSession {
     model: DeepGate,
     iterations: usize,
+    metrics: Option<Arc<EngineMetrics>>,
 }
 
 impl InferenceSession {
     /// Wraps a model in a session.
     pub fn new(model: DeepGate) -> Self {
         let iterations = model.config().num_iterations;
-        InferenceSession { model, iterations }
+        InferenceSession {
+            model,
+            iterations,
+            metrics: None,
+        }
     }
 
     /// Overrides the recurrence iteration count `T` used at inference time
     /// (the paper's Section IV-D2 sweeps this without retraining).
     pub fn with_iterations(mut self, iterations: usize) -> Self {
         self.iterations = iterations.max(1);
+        self
+    }
+
+    /// Attaches telemetry: plan builds, batch fusion and every planned
+    /// prediction record stage timings into the given [`EngineMetrics`]
+    /// handles. Sessions opened via [`crate::Engine::session`] inherit the
+    /// engine's handles automatically.
+    pub fn with_metrics(mut self, metrics: Arc<EngineMetrics>) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -101,7 +117,11 @@ impl InferenceSession {
 
     /// Precomputes a circuit's reusable inference state.
     pub fn prepare(&self, circuit: CircuitGraph) -> PreparedCircuit {
+        let plan_start = self.metrics.as_ref().map(|_| Instant::now());
         let plan = self.model.plan(&circuit);
+        if let (Some(m), Some(start)) = (self.metrics.as_deref(), plan_start) {
+            m.plan_ns.record_duration(start.elapsed());
+        }
         PreparedCircuit { circuit, plan }
     }
 
@@ -135,13 +155,22 @@ impl InferenceSession {
             return Err(DeepGateError::EmptyBatch);
         }
         let chunk_size = circuits.len().div_ceil(rayon::current_num_threads());
+        let metrics = self.metrics.as_deref();
         let chunks: Result<Vec<BatchChunk>, DeepGateError> = circuits
             .chunks(chunk_size)
             .collect::<Vec<_>>()
             .par_iter()
             .map(|chunk| {
+                let fuse_start = metrics.map(|_| Instant::now());
                 let (union, _) = CircuitGraph::disjoint_union(chunk)?;
+                if let (Some(m), Some(start)) = (metrics, fuse_start) {
+                    m.fuse_ns.record_duration(start.elapsed());
+                }
+                let plan_start = metrics.map(|_| Instant::now());
                 let plan = self.model.plan(&union);
+                if let (Some(m), Some(start)) = (metrics, plan_start) {
+                    m.plan_ns.record_duration(start.elapsed());
+                }
                 Ok(BatchChunk {
                     plan,
                     union,
@@ -251,13 +280,19 @@ impl InferenceSession {
         plan: &InferencePlan,
         out: &mut Vec<f32>,
     ) -> Result<(), DeepGateError> {
-        self.model.model().try_predict_into(
+        let metrics = self.metrics.as_deref();
+        let predict_start = metrics.map(|_| Instant::now());
+        self.model.model().try_predict_into_metered(
             self.model.store(),
             circuit,
             plan,
             self.iterations,
             out,
+            metrics.map(|m| &m.gnn),
         )?;
+        if let (Some(m), Some(start)) = (metrics, predict_start) {
+            m.predict_ns.record_duration(start.elapsed());
+        }
         Ok(())
     }
 }

@@ -438,3 +438,67 @@ fn checkpoint_roundtrips_through_builder_json() {
         assert!((x - y).abs() < 1e-6);
     }
 }
+
+#[test]
+fn engine_metrics_record_every_pipeline_stage() {
+    use deepgate::telemetry::Registry;
+    use deepgate::EngineMetrics;
+    use std::sync::Arc;
+
+    let registry = Registry::new();
+    let metrics = Arc::new(EngineMetrics::registered(&registry));
+    let engine = Engine::builder()
+        .model(DeepGateConfig {
+            hidden_dim: 12,
+            num_iterations: 2,
+            regressor_hidden: 8,
+            ..DeepGateConfig::default()
+        })
+        .metrics(Arc::clone(&metrics))
+        .build()
+        .unwrap();
+
+    // Instrumented inference must be bit-identical to the plain path.
+    let plain = quick_engine();
+    let circuits = engine
+        .prepare(&BenchText::new("full_adder", FULL_ADDER))
+        .unwrap();
+    let expected = {
+        let c = plain
+            .prepare(&BenchText::new("full_adder", FULL_ADDER))
+            .unwrap();
+        plain.predict(&c[0]).unwrap()
+    };
+    let session = engine.session();
+    let prepared = session.prepare(circuits[0].clone());
+    let mut out = Vec::new();
+    session.predict_into(&prepared, &mut out).unwrap();
+    assert_eq!(out, expected);
+
+    // Batched path exercises fusion too.
+    let batch = session
+        .prepare_batch(&[circuits[0].clone(), circuits[0].clone()])
+        .unwrap();
+    let mut outs = Vec::new();
+    session.predict_batch_into(&batch, &mut outs).unwrap();
+
+    let snap = registry.snapshot();
+    // One circuit ingested, plans built for the single and batched paths,
+    // at least one union fused, and every prediction timed.
+    assert_eq!(snap.histogram("engine_ingest_ns").unwrap().count, 1);
+    assert!(snap.histogram("engine_plan_ns").unwrap().count >= 2);
+    assert!(snap.histogram("engine_fuse_ns").unwrap().count >= 1);
+    let predicts = snap.histogram("engine_predict_ns").unwrap().count;
+    assert!(predicts >= 2);
+
+    // The GNN kernel series follow the predictions: one circuit-size record
+    // per prediction, one regression pass per prediction, and level
+    // aggregations accumulate across recurrence iterations.
+    assert_eq!(snap.histogram("gnn_circuit_nodes").unwrap().count, predicts);
+    assert_eq!(snap.histogram("gnn_regress_ns").unwrap().count, predicts);
+    assert!(snap.histogram("gnn_level_agg_ns").unwrap().count > 0);
+    assert!(snap.counter("gnn_levels_total") > 0);
+
+    // The engine hands its handles to every session it opens.
+    assert!(engine.engine_metrics().is_some());
+}
