@@ -49,6 +49,18 @@ struct ServingBaseline {
     cache_misses: u64,
     exact_match: bool,
     worker_threads: usize,
+    /// Deadline sweep: the same cached circuits under a tight and a loose
+    /// `deadline_ms`, counting how many requests completed versus were shed
+    /// with `DeadlineExceeded` before inference.
+    deadline_tight_ms: u64,
+    deadline_tight_completed: u64,
+    deadline_tight_shed: u64,
+    deadline_loose_ms: u64,
+    deadline_loose_completed: u64,
+    deadline_loose_shed: u64,
+    /// The server's own `scheduler_deadline_shed_total` counter after the
+    /// sweep — must equal the client-observed shed total.
+    deadline_shed_total: u64,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -66,6 +78,61 @@ fn predict_request(text: &str) -> String {
     let mut line = serde_json::to_string(&Value::Object(object)).expect("request serialises");
     line.push('\n');
     line
+}
+
+fn predict_request_with_deadline(text: &str, deadline_ms: u64) -> String {
+    let mut object = std::collections::BTreeMap::new();
+    object.insert("id".to_string(), Value::UInt(0));
+    object.insert("bench".to_string(), Value::Str(text.to_string()));
+    object.insert("deadline_ms".to_string(), Value::UInt(deadline_ms));
+    let mut line = serde_json::to_string(&Value::Object(object)).expect("request serialises");
+    line.push('\n');
+    line
+}
+
+/// Fires `clients * per_client` deadline-budgeted requests at the server and
+/// counts client-observed outcomes: `(completed, shed)`. Any error other
+/// than `DeadlineExceeded` is a bench failure.
+fn deadline_phase(
+    addr: std::net::SocketAddr,
+    texts: &[String],
+    clients: usize,
+    per_client: usize,
+    deadline_ms: u64,
+) -> (u64, u64) {
+    let workers: Vec<_> = (0..clients)
+        .map(|client| {
+            let texts = texts.to_vec();
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connects");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut writer = stream;
+                let (mut completed, mut shed) = (0u64, 0u64);
+                for request in 0..per_client {
+                    let which = (client + request) % texts.len();
+                    let line = predict_request_with_deadline(&texts[which], deadline_ms);
+                    writer.write_all(line.as_bytes()).expect("request written");
+                    let mut response = String::new();
+                    reader.read_line(&mut response).expect("response arrives");
+                    let response: Value =
+                        serde_json::from_str(&response).expect("server responses are JSON");
+                    let object = response.as_object().expect("object response");
+                    match object.get("error") {
+                        None => completed += 1,
+                        Some(Value::Str(error)) if error.contains("deadline exceeded") => {
+                            shed += 1;
+                        }
+                        Some(other) => panic!("unexpected error under deadline: {other:?}"),
+                    }
+                }
+                (completed, shed)
+            })
+        })
+        .collect();
+    workers.into_iter().fold((0, 0), |(done, cut), worker| {
+        let (completed, shed) = worker.join().expect("client thread");
+        (done + completed, cut + shed)
+    })
 }
 
 /// Scrapes the server's `metrics` wire verb and extracts one histogram's
@@ -285,6 +352,27 @@ fn main() {
     let (latency_p50_ns, latency_p90_ns, latency_p99_ns, _) =
         scrape_histogram(&server_metrics, "request_latency_ns");
     let (_, _, _, batch_size_histogram) = scrape_histogram(&server_metrics, "batch_size");
+
+    // ---- Deadline sweep: the same cached circuits resubmitted under a
+    // budget. Tight (the batch window itself) exercises shed-before-infer
+    // under load; loose verifies budgeted traffic is otherwise unaffected.
+    let (deadline_tight_ms, deadline_loose_ms) = (2u64, 60_000u64);
+    let (tight_completed, tight_shed) =
+        deadline_phase(addr, &texts, clients, per_client, deadline_tight_ms);
+    let (loose_completed, loose_shed) =
+        deadline_phase(addr, &texts, clients, per_client, deadline_loose_ms);
+    eprintln!(
+        "[bench_serving] deadline sweep: {deadline_tight_ms}ms -> {tight_shed}/{} shed, \
+         {deadline_loose_ms}ms -> {loose_shed}/{} shed",
+        tight_completed + tight_shed,
+        loose_completed + loose_shed,
+    );
+    let deadline_shed_total = server.stats().scheduler.deadline_shed;
+    assert_eq!(
+        deadline_shed_total,
+        tight_shed + loose_shed,
+        "server-side shed counter must match client-observed sheds"
+    );
     server.shutdown();
 
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
@@ -318,6 +406,13 @@ fn main() {
         worker_threads: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+        deadline_tight_ms,
+        deadline_tight_completed: tight_completed,
+        deadline_tight_shed: tight_shed,
+        deadline_loose_ms,
+        deadline_loose_completed: loose_completed,
+        deadline_loose_shed: loose_shed,
+        deadline_shed_total,
     };
 
     println!(
@@ -327,6 +422,7 @@ fn main() {
          server side: p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms\n\
          batching   : mean {:.1}, max {}, {} deduplicated\n\
          cache      : {} hits / {} misses\n\
+         deadlines  : {}ms -> {} shed, {}ms -> {} shed\n\
          exact      : {}",
         baseline.sequential_rps,
         baseline.server_rps,
@@ -342,6 +438,10 @@ fn main() {
         baseline.deduplicated,
         baseline.cache_hits,
         baseline.cache_misses,
+        baseline.deadline_tight_ms,
+        baseline.deadline_tight_shed,
+        baseline.deadline_loose_ms,
+        baseline.deadline_loose_shed,
         baseline.exact_match,
     );
 

@@ -30,6 +30,21 @@ usage: deepgate-serve [options]
   --slow-ms <n>          log predict requests slower than n milliseconds,
                          naming the dominant stage (0 logs every request;
                          default: disabled)
+  --default-deadline-ms <n>
+                         server-side budget applied to every predict request;
+                         the tighter of this and the client's `deadline_ms`
+                         wins (0 = disabled; default: disabled)
+  --idle-timeout-ms <n>  reap connections idle between requests for n ms
+                         (0 = never; default 120000)
+  --line-timeout-ms <n>  cut connections that stall mid-request-line for n ms
+                         (0 = never; default 30000)
+  --write-timeout-ms <n> cut connections whose responses stall in the socket
+                         for n ms (0 = never; default 30000)
+  --max-connections <n>  refuse connections beyond n concurrent clients
+                         (0 = unlimited; default 1024)
+  --max-request-bytes <n>
+                         reject request lines longer than n bytes
+                         (default 8388608)
   --help                 print this help";
 
 fn fail(message: &str) -> ! {
@@ -69,6 +84,31 @@ fn main() {
                         parse(&value("--slow-ms"), "--slow-ms") as u64,
                     ))
             }
+            "--default-deadline-ms" => {
+                config.default_deadline = optional_ms(parse(
+                    &value("--default-deadline-ms"),
+                    "--default-deadline-ms",
+                ))
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout =
+                    optional_ms(parse(&value("--idle-timeout-ms"), "--idle-timeout-ms"))
+            }
+            "--line-timeout-ms" => {
+                config.line_timeout =
+                    optional_ms(parse(&value("--line-timeout-ms"), "--line-timeout-ms"))
+            }
+            "--write-timeout-ms" => {
+                config.write_timeout =
+                    optional_ms(parse(&value("--write-timeout-ms"), "--write-timeout-ms"))
+            }
+            "--max-connections" => {
+                config.max_connections = parse(&value("--max-connections"), "--max-connections")
+            }
+            "--max-request-bytes" => {
+                config.max_request_bytes =
+                    parse(&value("--max-request-bytes"), "--max-request-bytes") as u64
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -104,6 +144,15 @@ fn main() {
         config.workers,
         config.cache_capacity,
     );
+    eprintln!(
+        "[deepgate-serve] resilience: default_deadline={:?}, idle_timeout={:?}, line_timeout={:?}, write_timeout={:?}, max_connections={}, max_request_bytes={}",
+        config.default_deadline,
+        config.idle_timeout,
+        config.line_timeout,
+        config.write_timeout,
+        config.max_connections,
+        config.max_request_bytes,
+    );
     server.wait();
     let stats = server.stats();
     eprintln!(
@@ -115,4 +164,9 @@ fn main() {
 fn parse(text: &str, flag: &str) -> usize {
     text.parse()
         .unwrap_or_else(|_| fail(&format!("{flag} expects an unsigned integer, got `{text}`")))
+}
+
+/// The `0 = disabled` convention for millisecond flags.
+fn optional_ms(ms: usize) -> Option<Duration> {
+    (ms > 0).then(|| Duration::from_millis(ms as u64))
 }

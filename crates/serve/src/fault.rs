@@ -1,0 +1,332 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! A [`FaultPlan`] is a seeded, stage-addressed schedule of failures —
+//! panics, delays and I/O errors — that the serving stack consults at five
+//! runtime hooks, one per [`Stage`] of the request path
+//! (parse/encode/plan/infer/respond). The hooks are plain runtime checks
+//! compiled into every build (no `#[cfg]` gating): a server without a plan
+//! pays one `Option` test per stage, and chaos tests hand
+//! [`crate::ServeConfig::faults`] a plan to drive the exact failure modes
+//! they want to survive.
+//!
+//! Decisions are deterministic: whether the *n*-th check of a stage fires
+//! depends only on the plan's seed, the stage, the rule and *n* — never on
+//! wall time or global randomness. Rules with `rate == 1.0` and a `limit`
+//! fire on exactly the first `limit` checks of their stage, which lets a
+//! chaos test assert exact fault counts; fractional rates give a
+//! reproducible pseudo-random schedule for soak-style runs.
+//!
+//! ```
+//! use deepgate_serve::fault::{FaultKind, FaultPlan};
+//! use deepgate::telemetry::Stage;
+//! use std::time::Duration;
+//!
+//! let plan = FaultPlan::seeded(7)
+//!     .inject_limited(Stage::Infer, FaultKind::Panic, 1.0, 3)
+//!     .inject(Stage::Parse, FaultKind::Delay(Duration::from_millis(5)), 0.25);
+//! assert_eq!(plan.check(Stage::Infer), Some(FaultKind::Panic));
+//! ```
+
+pub use deepgate::telemetry::Stage;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The failure modes a [`FaultPlan`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Unwind the executing thread, as a bug in stage code would. Worker
+    /// threads recover via `catch_unwind` (and respawn on thread death);
+    /// connection threads turn it into an internal-error response.
+    Panic,
+    /// Stall the stage for the given duration — stand-in for a slow model,
+    /// a cold cache or a scheduling hiccup. Inflates latency and pushes
+    /// queued requests past their deadlines.
+    Delay(Duration),
+    /// Fail the stage with a synthetic I/O error. At the respond stage this
+    /// simulates a broken socket (the connection drops); elsewhere it
+    /// surfaces as a clean internal-error response.
+    IoError,
+}
+
+impl FaultKind {
+    /// The kind's name, used in injected panic/error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Delay(_) => "delay",
+            FaultKind::IoError => "io-error",
+        }
+    }
+}
+
+/// One injection rule: at `stage`, fire `kind` on a `rate` fraction of
+/// checks, at most `limit` times (0 = unlimited).
+#[derive(Debug)]
+struct FaultRule {
+    stage: Stage,
+    kind: FaultKind,
+    rate: f64,
+    limit: u64,
+    fired: AtomicU64,
+}
+
+/// A seeded, stage-addressed fault schedule. See the [module docs](self).
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+    /// Per-stage check sequence numbers — the sole input (with the seed)
+    /// to each firing decision.
+    checks: [AtomicU64; Stage::COUNT],
+    fired_at: [AtomicU64; Stage::COUNT],
+}
+
+/// SplitMix64: a tiny, high-quality mixer — enough to turn (seed, stage,
+/// rule, sequence) into an unbiased coin for fractional rates.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan (no rules) under the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+            checks: std::array::from_fn(|_| AtomicU64::new(0)),
+            fired_at: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds an unlimited rule: `kind` fires on a `rate` fraction
+    /// (`0.0 ..= 1.0`) of the stage's checks.
+    pub fn inject(self, stage: Stage, kind: FaultKind, rate: f64) -> Self {
+        self.inject_limited(stage, kind, rate, 0)
+    }
+
+    /// Adds a rule that fires at most `limit` times (0 = unlimited). With
+    /// `rate == 1.0`, exactly the stage's first `limit` checks fire (in
+    /// rule-insertion order when several rules address one stage), so tests
+    /// can assert exact fault counts.
+    pub fn inject_limited(mut self, stage: Stage, kind: FaultKind, rate: f64, limit: u64) -> Self {
+        self.rules.push(FaultRule {
+            stage,
+            kind,
+            rate: rate.clamp(0.0, 1.0),
+            limit,
+            fired: AtomicU64::new(0),
+        });
+        self
+    }
+
+    /// One stage check: returns the fault to inject now, if any. Each check
+    /// consumes one per-stage sequence number; at most one rule fires per
+    /// check (the first matching rule in insertion order wins).
+    pub fn check(&self, stage: Stage) -> Option<FaultKind> {
+        let stage_index = Stage::ALL.iter().position(|s| *s == stage).expect("stage");
+        let n = self.checks[stage_index].fetch_add(1, Ordering::Relaxed);
+        for (rule_index, rule) in self.rules.iter().enumerate() {
+            if rule.stage != stage {
+                continue;
+            }
+            let coin = splitmix64(
+                self.seed ^ ((stage_index as u64) << 56) ^ ((rule_index as u64) << 48) ^ n,
+            );
+            // coin/2^64 < rate, computed in integers to keep rate == 1.0
+            // exact (every check fires).
+            let fires = (coin as f64) < rule.rate * (u64::MAX as f64);
+            if !fires {
+                continue;
+            }
+            if rule.limit > 0 && rule.fired.fetch_add(1, Ordering::Relaxed) >= rule.limit {
+                continue; // budget spent; later rules may still fire
+            }
+            if rule.limit == 0 {
+                rule.fired.fetch_add(1, Ordering::Relaxed);
+            }
+            self.fired_at[stage_index].fetch_add(1, Ordering::Relaxed);
+            return Some(rule.kind);
+        }
+        None
+    }
+
+    /// Faults fired at `stage` so far.
+    pub fn fired_at(&self, stage: Stage) -> u64 {
+        let stage_index = Stage::ALL.iter().position(|s| *s == stage).expect("stage");
+        self.fired_at[stage_index].load(Ordering::Relaxed)
+    }
+
+    /// Faults fired across all stages so far.
+    pub fn fired(&self) -> u64 {
+        self.fired_at
+            .iter()
+            .map(|f| f.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Checks consumed at `stage` so far (fired or not).
+    pub fn checks_at(&self, stage: Stage) -> u64 {
+        let stage_index = Stage::ALL.iter().position(|s| *s == stage).expect("stage");
+        self.checks[stage_index].load(Ordering::Relaxed)
+    }
+
+    /// Whether every limited rule has spent its budget — the moment a chaos
+    /// test can rely on fault-free traffic again.
+    pub fn exhausted(&self) -> bool {
+        self.rules
+            .iter()
+            .all(|r| r.limit > 0 && r.fired.load(Ordering::Relaxed) >= r.limit)
+    }
+
+    /// The message carried by injected panics and synthetic I/O errors —
+    /// greppable in logs, and matchable by panic hooks that want to silence
+    /// expected chaos-test noise.
+    pub fn message(stage: Stage, kind: FaultKind) -> String {
+        format!("injected fault: {} at stage {}", kind.name(), stage.name())
+    }
+
+    /// Checks `stage` and *applies* panic/delay faults in place: a `Panic`
+    /// rule panics with [`FaultPlan::message`], a `Delay` rule sleeps.
+    /// Returns `Err` with a synthetic [`std::io::Error`] for `IoError`
+    /// rules, which each hook site maps to its own failure surface.
+    ///
+    /// # Errors
+    ///
+    /// Returns the synthetic error when an `IoError` rule fires.
+    ///
+    /// # Panics
+    ///
+    /// Panics (deliberately) when a `Panic` rule fires.
+    pub fn fire(&self, stage: Stage) -> Result<(), std::io::Error> {
+        match self.check(stage) {
+            None => Ok(()),
+            Some(FaultKind::Panic) => {
+                panic!("{}", FaultPlan::message(stage, FaultKind::Panic))
+            }
+            Some(FaultKind::Delay(duration)) => {
+                std::thread::sleep(duration);
+                Ok(())
+            }
+            Some(FaultKind::IoError) => Err(std::io::Error::other(FaultPlan::message(
+                stage,
+                FaultKind::IoError,
+            ))),
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message — used by the
+/// recovery paths to fold the panic's text into the error they respond
+/// with.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limited_full_rate_rules_fire_exactly_their_budget() {
+        let plan = FaultPlan::seeded(42).inject_limited(Stage::Infer, FaultKind::Panic, 1.0, 3);
+        let fired: Vec<bool> = (0..10)
+            .map(|_| plan.check(Stage::Infer).is_some())
+            .collect();
+        assert_eq!(
+            fired,
+            [true, true, true]
+                .iter()
+                .chain(&[false; 7])
+                .copied()
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(plan.fired_at(Stage::Infer), 3);
+        assert_eq!(plan.checks_at(Stage::Infer), 10);
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed_and_sequence() {
+        let decide = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::seeded(seed).inject(Stage::Parse, FaultKind::IoError, 0.5);
+            (0..64)
+                .map(|_| plan.check(Stage::Parse).is_some())
+                .collect()
+        };
+        assert_eq!(decide(7), decide(7), "same seed, same schedule");
+        assert_ne!(decide(7), decide(8), "different seeds diverge");
+        let fired = decide(7).iter().filter(|f| **f).count();
+        assert!((10..=54).contains(&fired), "rate 0.5 fired {fired}/64");
+    }
+
+    #[test]
+    fn stages_are_addressed_independently() {
+        let plan = FaultPlan::seeded(1)
+            .inject_limited(Stage::Parse, FaultKind::Panic, 1.0, 1)
+            .inject_limited(Stage::Respond, FaultKind::IoError, 1.0, 2);
+        assert_eq!(plan.check(Stage::Encode), None, "no rule for encode");
+        assert_eq!(plan.check(Stage::Parse), Some(FaultKind::Panic));
+        assert_eq!(plan.check(Stage::Parse), None, "parse budget spent");
+        assert_eq!(plan.check(Stage::Respond), Some(FaultKind::IoError));
+        assert_eq!(plan.fired(), 2);
+        assert!(!plan.exhausted(), "respond still has budget");
+    }
+
+    #[test]
+    fn rules_on_one_stage_fire_in_insertion_order() {
+        let plan = FaultPlan::seeded(3)
+            .inject_limited(Stage::Infer, FaultKind::Delay(Duration::ZERO), 1.0, 2)
+            .inject_limited(Stage::Infer, FaultKind::Panic, 1.0, 1);
+        assert_eq!(
+            plan.check(Stage::Infer),
+            Some(FaultKind::Delay(Duration::ZERO))
+        );
+        assert_eq!(
+            plan.check(Stage::Infer),
+            Some(FaultKind::Delay(Duration::ZERO))
+        );
+        assert_eq!(plan.check(Stage::Infer), Some(FaultKind::Panic));
+        assert_eq!(plan.check(Stage::Infer), None);
+    }
+
+    #[test]
+    fn fire_applies_delays_and_surfaces_io_errors() {
+        let plan = FaultPlan::seeded(9)
+            .inject_limited(Stage::Plan, FaultKind::IoError, 1.0, 1)
+            .inject_limited(
+                Stage::Encode,
+                FaultKind::Delay(Duration::from_millis(1)),
+                1.0,
+                1,
+            );
+        let err = plan.fire(Stage::Plan).expect_err("io fault surfaces");
+        assert!(err
+            .to_string()
+            .contains("injected fault: io-error at stage plan"));
+        let start = std::time::Instant::now();
+        plan.fire(Stage::Encode).expect("delay is not an error");
+        assert!(start.elapsed() >= Duration::from_millis(1));
+        plan.fire(Stage::Plan).expect("budget spent, no fault");
+    }
+
+    #[test]
+    fn injected_panics_carry_the_greppable_message() {
+        let plan = FaultPlan::seeded(5).inject_limited(Stage::Infer, FaultKind::Panic, 1.0, 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = plan.fire(Stage::Infer);
+        }));
+        let payload = result.expect_err("panic rule panics");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic carries a String");
+        assert_eq!(message, "injected fault: panic at stage infer");
+    }
+}

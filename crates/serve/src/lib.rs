@@ -59,6 +59,55 @@
 //!     parse_ms=0.031 infer_ms=11.975 respond_ms=0.102
 //! ```
 //!
+//! # Deadlines
+//!
+//! A predict request may carry an optional `deadline_ms` field — the
+//! client's latency budget in milliseconds, measured from the instant the
+//! request line is read:
+//!
+//! ```text
+//! → {"id": 5, "bench": "…", "deadline_ms": 50}
+//! ← {"id": 5, "probs": [0.5, …]}                       (met the budget)
+//! ← {"id": 5, "error": "deadline exceeded: …"}          (shed instead)
+//! ```
+//!
+//! [`ServeConfig::default_deadline`] is the server-side cap: when both are
+//! present the *tighter* budget wins, and with neither the request waits
+//! indefinitely. Expiry is checked at batch assembly, **before** inference
+//! — an overloaded server sheds queued-but-expired requests cheaply
+//! (counted in `scheduler_deadline_shed_total`) instead of computing
+//! answers nobody is waiting for, and every shed request still receives its
+//! one terminal `error` response.
+//!
+//! # Resilience
+//!
+//! The serving stack is built to keep answering under partial failure; see
+//! the README's "Resilience" section for the full inventory. In brief:
+//!
+//! - **Worker-panic recovery** — a panic inside batch execution is caught
+//!   (`worker_panics_recovered_total`), every waiter of the batch gets an
+//!   internal-error response, and the worker keeps draining; a worker
+//!   thread that dies anyway is respawned (`worker_respawns_total`), so the
+//!   scheduler never hangs a submitter or loses capacity.
+//! - **Request-handler recovery** — a panic while handling a request line
+//!   becomes an `error` response (`request_panics_recovered_total`) instead
+//!   of a dropped connection.
+//! - **Connection hygiene** — [`ServeConfig::idle_timeout`] reaps
+//!   connections with no traffic, [`ServeConfig::line_timeout`] cuts
+//!   clients that trickle a request line byte-by-byte (slow-loris),
+//!   [`ServeConfig::write_timeout`] cuts clients that stop reading
+//!   responses, [`ServeConfig::max_connections`] bounds the connection
+//!   fleet, and [`ServeConfig::max_request_bytes`] bounds one request line.
+//!   The blocking front end handles one request per connection at a time,
+//!   so in-flight work per connection is bounded at 1 by construction and
+//!   total in-flight work by `max_connections + queue_depth`.
+//! - **Fault injection** — [`ServeConfig::faults`] accepts a seeded,
+//!   stage-addressed [`fault::FaultPlan`] that injects panics, delays and
+//!   I/O errors at runtime hooks on the parse/encode/plan/infer/respond
+//!   path; the chaos integration test drives the server through all of
+//!   them and asserts every request still gets exactly one terminal
+//!   response.
+//!
 //! A predict request carries its circuit in exactly one of three fields:
 //!
 //! - `bench` — BENCH interchange text, inline.
@@ -86,17 +135,20 @@
 
 pub mod b64;
 mod cache;
+pub mod fault;
 mod metrics;
 mod scheduler;
 mod server;
 
 pub use cache::{request_key, text_key, CacheStats, CircuitCache};
+pub use fault::{FaultKind, FaultPlan};
 pub use metrics::{snapshot_to_value, CacheMetrics, SchedulerMetrics, ServeMetrics};
 pub use scheduler::{Scheduler, SchedulerStats};
 pub use server::{Server, ServerStats};
 
 use deepgate::DeepGateError;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Configuration of the serving subsystem: batching knobs, backpressure
@@ -127,6 +179,33 @@ pub struct ServeConfig {
     /// dominant stage (default `None` — disabled). `Some(Duration::ZERO)`
     /// logs every predict request.
     pub slow_request_threshold: Option<Duration>,
+    /// Server-side deadline cap for predict requests: the effective budget
+    /// is the tighter of this and the request's `deadline_ms` field
+    /// (default `None` — only client deadlines apply). Expired requests
+    /// are shed at batch assembly, before inference, with
+    /// [`ServeError::DeadlineExceeded`].
+    pub default_deadline: Option<Duration>,
+    /// Reap a connection after this long with no completed request and no
+    /// partial request line in flight (default 120 s; `None` disables).
+    pub idle_timeout: Option<Duration>,
+    /// Most time a request line may take from its first byte to its
+    /// newline; a client trickling bytes slower (slow-loris) is cut off
+    /// (default 30 s; `None` disables).
+    pub line_timeout: Option<Duration>,
+    /// Socket write timeout: a client that stops reading responses blocks
+    /// the server's writes at most this long before the connection is
+    /// dropped (default 30 s; `None` disables).
+    pub write_timeout: Option<Duration>,
+    /// Most connections served at once; further ones are refused with an
+    /// error line (default 1024; 0 = unlimited). With the one-request-at-a-
+    /// time connection loop this also bounds in-flight requests.
+    pub max_connections: usize,
+    /// Most bytes one request line may hold; a line growing past this cuts
+    /// the connection instead of buffering unboundedly (default 8 MiB).
+    pub max_request_bytes: u64,
+    /// Deterministic fault-injection plan consulted at every stage hook
+    /// (default `None` — no faults). See [`fault::FaultPlan`].
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -141,6 +220,13 @@ impl Default for ServeConfig {
                 .unwrap_or(1),
             cache_capacity: 256,
             slow_request_threshold: None,
+            default_deadline: None,
+            idle_timeout: Some(Duration::from_secs(120)),
+            line_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_connections: 1024,
+            max_request_bytes: 8 * 1024 * 1024,
+            faults: None,
         }
     }
 }
@@ -156,6 +242,14 @@ pub enum ServeError {
     },
     /// The server is draining; the request was not (or no longer) queued.
     ShuttingDown,
+    /// The request's latency budget (its `deadline_ms`, capped by
+    /// [`ServeConfig::default_deadline`]) expired before inference started;
+    /// the request was shed at batch assembly without running the model.
+    DeadlineExceeded,
+    /// The server hit an internal failure (e.g. a recovered worker panic)
+    /// while processing the request. The request itself may be fine —
+    /// retrying is reasonable.
+    Internal(String),
     /// The request was malformed (bad JSON, missing fields, unparsable
     /// circuit).
     BadRequest(String),
@@ -174,6 +268,13 @@ impl fmt::Display for ServeError {
                 write!(f, "server overloaded: request queue is full ({depth})")
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::DeadlineExceeded => {
+                write!(
+                    f,
+                    "deadline exceeded: request expired before inference and was shed"
+                )
+            }
+            ServeError::Internal(msg) => write!(f, "internal error: {msg}"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::Engine(e) => write!(f, "engine error: {e}"),
             ServeError::Io(msg) => write!(f, "io error: {msg}"),
@@ -221,5 +322,22 @@ mod tests {
             .to_string()
             .contains('4'));
         assert!(ServeError::ShuttingDown.to_string().contains("shutting"));
+        assert!(ServeError::DeadlineExceeded
+            .to_string()
+            .contains("deadline exceeded"));
+        assert!(ServeError::Internal("worker panicked".into())
+            .to_string()
+            .contains("worker panicked"));
+    }
+
+    #[test]
+    fn default_resilience_limits_are_sane() {
+        let config = ServeConfig::default();
+        assert!(config.default_deadline.is_none(), "no cap unless asked");
+        assert!(config.idle_timeout.expect("idle reaping on") >= config.batch_window);
+        assert!(config.line_timeout.is_some() && config.write_timeout.is_some());
+        assert!(config.max_connections >= 1);
+        assert!(config.max_request_bytes >= 1024);
+        assert!(config.faults.is_none(), "no faults unless injected");
     }
 }

@@ -32,6 +32,16 @@ pub struct SchedulerMetrics {
     pub deduplicated: Arc<Counter>,
     /// `scheduler_max_batch` — largest batch executed (monotone maximum).
     pub max_batch: Arc<Counter>,
+    /// `scheduler_deadline_shed_total` — requests whose deadline expired
+    /// before inference, shed at batch assembly with `DeadlineExceeded`.
+    pub deadline_shed: Arc<Counter>,
+    /// `worker_panics_recovered_total` — batch executions that panicked
+    /// and were converted to per-request internal errors (the worker
+    /// survives and keeps draining).
+    pub worker_panics_recovered: Arc<Counter>,
+    /// `worker_respawns_total` — worker threads that died anyway and were
+    /// replaced, so queue capacity is never lost.
+    pub worker_respawns: Arc<Counter>,
     /// `queue_depth` — requests queued right now.
     pub queue_depth: Arc<Gauge>,
     /// `batch_size` — batch sizes, one record per executed batch.
@@ -54,6 +64,9 @@ impl SchedulerMetrics {
             batched_requests: registry.counter("scheduler_batched_requests_total"),
             deduplicated: registry.counter("scheduler_deduplicated_total"),
             max_batch: registry.counter("scheduler_max_batch"),
+            deadline_shed: registry.counter("scheduler_deadline_shed_total"),
+            worker_panics_recovered: registry.counter("worker_panics_recovered_total"),
+            worker_respawns: registry.counter("worker_respawns_total"),
             queue_depth: registry.gauge("queue_depth"),
             batch_size: registry.histogram("batch_size"),
             batch_latency_ns: registry.histogram("batch_latency_ns"),
@@ -136,6 +149,19 @@ pub struct ServeMetrics {
     pub connections_closed: Arc<Counter>,
     /// `connections_open` — connections being served right now.
     pub connections_open: Arc<Gauge>,
+    /// `connections_reaped_total` — connections cut by the hygiene layer:
+    /// idle past `idle_timeout`, or trickling a request line past
+    /// `line_timeout` (slow-loris).
+    pub connections_reaped: Arc<Counter>,
+    /// `connections_rejected_total` — connections refused at accept because
+    /// `max_connections` were already open.
+    pub connections_rejected: Arc<Counter>,
+    /// `write_timeouts_total` — response writes that timed out on a client
+    /// that stopped reading (the connection is dropped).
+    pub write_timeouts: Arc<Counter>,
+    /// `request_panics_recovered_total` — request-handler panics converted
+    /// into error responses instead of dropped connections.
+    pub request_panics_recovered: Arc<Counter>,
 }
 
 impl Default for ServeMetrics {
@@ -164,6 +190,10 @@ impl ServeMetrics {
             connections_accepted: registry.counter("connections_accepted_total"),
             connections_closed: registry.counter("connections_closed_total"),
             connections_open: registry.gauge("connections_open"),
+            connections_reaped: registry.counter("connections_reaped_total"),
+            connections_rejected: registry.counter("connections_rejected_total"),
+            write_timeouts: registry.counter("write_timeouts_total"),
+            request_panics_recovered: registry.counter("request_panics_recovered_total"),
             engine,
             scheduler,
             cache,

@@ -2,23 +2,28 @@
 //! worker threads that fuse concurrent requests into
 //! [`deepgate::InferenceSession`] batches.
 
+use crate::fault::{panic_message, FaultKind, FaultPlan};
 use crate::metrics::SchedulerMetrics;
 use crate::{ServeConfig, ServeError};
 use deepgate::gnn::CircuitGraph;
-use deepgate::telemetry::Registry;
+use deepgate::telemetry::{Registry, Stage};
 use deepgate::{InferenceSession, PreparedCircuit};
 use serde::Serialize;
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// One queued prediction request: the prepared circuit plus the channel its
-/// result is routed back through.
+/// One queued prediction request: the prepared circuit, the channel its
+/// result is routed back through, and the instant after which the answer is
+/// worthless.
 struct Job {
     circuit: Arc<PreparedCircuit>,
     respond: Sender<Result<Vec<f32>, ServeError>>,
+    /// Expired jobs are shed at batch assembly, before inference.
+    deadline: Option<Instant>,
 }
 
 /// Scheduler counters, as reported by the `stats` wire verb.
@@ -45,6 +50,14 @@ pub struct SchedulerStats {
     /// Requests that shared a batch-mate's prediction instead of running
     /// their own (duplicate circuits deduplicated within a batch).
     pub deduplicated: u64,
+    /// Requests whose deadline expired before inference, shed at batch
+    /// assembly with [`ServeError::DeadlineExceeded`].
+    pub deadline_shed: u64,
+    /// Batch executions that panicked and were converted to per-request
+    /// internal errors; the worker survived and kept draining.
+    pub worker_panics_recovered: u64,
+    /// Worker threads that died anyway and were replaced.
+    pub worker_respawns: u64,
 }
 
 impl SchedulerStats {
@@ -64,6 +77,9 @@ impl SchedulerStats {
             batched: snapshot.counter("scheduler_batched_requests_total"),
             max_batch_observed: snapshot.counter("scheduler_max_batch"),
             deduplicated: snapshot.counter("scheduler_deduplicated_total"),
+            deadline_shed: snapshot.counter("scheduler_deadline_shed_total"),
+            worker_panics_recovered: snapshot.counter("worker_panics_recovered_total"),
+            worker_respawns: snapshot.counter("worker_respawns_total"),
         }
     }
 }
@@ -81,6 +97,10 @@ struct Shared {
     state: Mutex<QueueState>,
     not_empty: Condvar,
     metrics: SchedulerMetrics,
+    faults: Option<Arc<FaultPlan>>,
+    /// Handles of workers respawned after a thread death; joined (and
+    /// re-drained, since a respawned worker can die too) during shutdown.
+    respawned: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// The dynamic micro-batching scheduler.
@@ -155,13 +175,15 @@ impl Scheduler {
             }),
             not_empty: Condvar::new(),
             metrics,
+            faults: config.faults.clone(),
+            respawned: Mutex::new(Vec::new()),
         });
         let workers = (0..config.workers)
             .map(|index| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("deepgate-serve-worker-{index}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(shared, index))
                     .map_err(|e| ServeError::Io(format!("spawning worker: {e}")))
             })
             .collect::<Result<Vec<_>, _>>()?;
@@ -176,8 +198,8 @@ impl Scheduler {
         &self.shared.session
     }
 
-    /// Enqueues a prepared circuit, returning the channel its result will
-    /// arrive on.
+    /// Enqueues a prepared circuit with no deadline, returning the channel
+    /// its result will arrive on.
     ///
     /// # Errors
     ///
@@ -187,6 +209,23 @@ impl Scheduler {
     pub fn submit(
         &self,
         circuit: Arc<PreparedCircuit>,
+    ) -> Result<Receiver<Result<Vec<f32>, ServeError>>, ServeError> {
+        self.submit_with_deadline(circuit, None)
+    }
+
+    /// [`Scheduler::submit`] with an optional deadline. A job still queued
+    /// when its deadline passes is shed at batch assembly — before any
+    /// inference — and answered with [`ServeError::DeadlineExceeded`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Overloaded`] when the queue is full and
+    /// [`ServeError::ShuttingDown`] once [`Scheduler::shutdown`] has begun.
+    #[allow(clippy::type_complexity)]
+    pub fn submit_with_deadline(
+        &self,
+        circuit: Arc<PreparedCircuit>,
+        deadline: Option<Instant>,
     ) -> Result<Receiver<Result<Vec<f32>, ServeError>>, ServeError> {
         let (respond, receive) = mpsc::channel();
         {
@@ -201,7 +240,11 @@ impl Scheduler {
                     depth: self.shared.queue_depth,
                 });
             }
-            state.jobs.push_back(Job { circuit, respond });
+            state.jobs.push_back(Job {
+                circuit,
+                respond,
+                deadline,
+            });
             self.shared.metrics.queue_depth.inc();
         }
         self.shared.metrics.submitted.inc();
@@ -215,12 +258,39 @@ impl Scheduler {
     /// # Errors
     ///
     /// Propagates [`Scheduler::submit`] rejections and any engine error the
-    /// worker hit; a worker that disappeared mid-request reports
-    /// [`ServeError::ShuttingDown`].
+    /// worker hit. A response channel dropped without a response — a worker
+    /// died mid-batch in a way even panic recovery missed — reports
+    /// [`ServeError::Internal`]; a clean drain reports
+    /// [`ServeError::ShuttingDown`] explicitly.
     pub fn predict(&self, circuit: Arc<PreparedCircuit>) -> Result<Vec<f32>, ServeError> {
-        self.submit(circuit)?
+        self.predict_with_deadline(circuit, None)
+    }
+
+    /// [`Scheduler::predict`] with an optional deadline (see
+    /// [`Scheduler::submit_with_deadline`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::predict`], plus [`ServeError::DeadlineExceeded`]
+    /// when the job is shed.
+    pub fn predict_with_deadline(
+        &self,
+        circuit: Arc<PreparedCircuit>,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<f32>, ServeError> {
+        // Every terminal outcome arrives as an explicit message: worker
+        // results, deadline sheds, shutdown flushes. A bare RecvError means
+        // the jobs were dropped without responding — a worker death that
+        // even `catch_unwind` recovery missed — which is an internal fault,
+        // NOT a clean shutdown; reporting it as such keeps real drains and
+        // lost requests distinguishable to clients.
+        self.submit_with_deadline(circuit, deadline)?
             .recv()
-            .unwrap_or(Err(ServeError::ShuttingDown))
+            .unwrap_or_else(|_| {
+                Err(ServeError::Internal(
+                    "worker dropped the response channel without responding".into(),
+                ))
+            })
     }
 
     /// Current counters (each read individually; the server's `stats` verb
@@ -238,6 +308,9 @@ impl Scheduler {
             batched: m.batched_requests.get(),
             max_batch_observed: m.max_batch.get(),
             deduplicated: m.deduplicated.get(),
+            deadline_shed: m.deadline_shed.get(),
+            worker_panics_recovered: m.worker_panics_recovered.get(),
+            worker_respawns: m.worker_respawns.get(),
         }
     }
 
@@ -271,6 +344,22 @@ impl Scheduler {
         for worker in workers {
             let _ = worker.join();
         }
+        // A worker that died and respawned registered its replacement in
+        // `respawned` before its thread exited, so after joining the
+        // originals every replacement is visible here. Replacements can die
+        // and respawn too — drain until the list stays empty.
+        loop {
+            let respawned: Vec<JoinHandle<()>> = {
+                let mut guard = self.shared.respawned.lock().expect("respawn handles lock");
+                guard.drain(..).collect()
+            };
+            if respawned.is_empty() {
+                break;
+            }
+            for worker in respawned {
+                let _ = worker.join();
+            }
+        }
     }
 }
 
@@ -280,9 +369,56 @@ impl Drop for Scheduler {
     }
 }
 
-fn worker_loop(shared: &Shared) {
-    while let Some(jobs) = next_batch(shared) {
-        execute(shared, jobs);
+/// Last line of defence under a worker-thread death: batch-level panics are
+/// already caught and answered inside [`execute`], but if a panic escapes
+/// anyway (a double panic, a poisoned invariant in the batch-collection
+/// path, an injected fault outside the guarded region), this guard's drop —
+/// which runs while the thread unwinds — spawns a replacement so the queue
+/// never loses drain capacity.
+struct RespawnGuard {
+    shared: Arc<Shared>,
+    index: usize,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return; // clean exit: the queue closed
+        }
+        if self.shared.state.is_poisoned() {
+            // The panic happened while the queue lock was held: every
+            // future worker would panic on the same poisoned lock, and
+            // respawning would storm. Leave the scheduler broken (waiters
+            // get Internal errors from their dropped channels) rather than
+            // spin.
+            return;
+        }
+        self.shared.metrics.worker_respawns.inc();
+        let shared = Arc::clone(&self.shared);
+        let index = self.index;
+        // A spawn failure here would truly lose a worker, but must not
+        // panic inside a drop-during-unwind (that would abort the process —
+        // the opposite of resilience).
+        if let Ok(handle) = std::thread::Builder::new()
+            .name(format!("deepgate-serve-worker-{index}-respawn"))
+            .spawn(move || worker_loop(shared, index))
+        {
+            self.shared
+                .respawned
+                .lock()
+                .expect("respawn handles lock")
+                .push(handle);
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    let _guard = RespawnGuard {
+        shared: Arc::clone(&shared),
+        index,
+    };
+    while let Some(jobs) = next_batch(&shared) {
+        execute(&shared, jobs);
     }
 }
 
@@ -326,6 +462,10 @@ fn next_batch(shared: &Shared) -> Option<Vec<Job>> {
 
 /// Executes one batch and routes every result back to its submitter.
 ///
+/// Already-expired jobs are shed first — before any model work — with
+/// [`ServeError::DeadlineExceeded`], so an overloaded scheduler spends its
+/// inference budget only on requests someone is still waiting for.
+///
 /// Requests for the *same* prepared circuit (same cached `Arc`, which is how
 /// the structural cache hands out repeats) are deduplicated first: the
 /// circuit is predicted once and the result fanned out to every duplicate.
@@ -334,14 +474,79 @@ fn next_batch(shared: &Shared) -> Option<Vec<Job>> {
 /// is where most of the micro-batching win comes from, on top of the fused
 /// disjoint-union execution of the distinct remainder. A batch-level failure
 /// falls back to per-circuit prediction so one poisoned request cannot fail
-/// its batch-mates.
+/// its batch-mates; a batch-level *panic* is caught, answered with
+/// per-request internal errors, and the worker keeps draining.
 fn execute(shared: &Shared, jobs: Vec<Job>) {
+    let metrics = &shared.metrics;
+
+    // Shed-before-infer: a request whose deadline has already passed gets
+    // its terminal DeadlineExceeded response now, for the cost of one clock
+    // read — not a batch slot.
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        match job.deadline {
+            Some(deadline) if now >= deadline => {
+                metrics.deadline_shed.inc();
+                let _ = job.respond.send(Err(ServeError::DeadlineExceeded));
+            }
+            _ => live.push(job),
+        }
+    }
+    if live.is_empty() {
+        return; // the whole batch expired; no inference, no batch counted
+    }
+    let jobs = live;
+
+    // Batch execution is guarded: a panic anywhere below (model bug,
+    // injected fault) must never strand the submitters blocking on their
+    // response channels or kill the worker's drain loop.
+    let routed = std::panic::catch_unwind(AssertUnwindSafe(|| execute_batch(shared, &jobs)));
+    if let Err(payload) = routed {
+        metrics.worker_panics_recovered.inc();
+        let message = panic_message(payload.as_ref());
+        for job in &jobs {
+            metrics.failed.inc();
+            let _ = job.respond.send(Err(ServeError::Internal(format!(
+                "worker panicked: {message}"
+            ))));
+        }
+    }
+}
+
+/// The unguarded body of [`execute`]: batch accounting, deduplication,
+/// fused prediction and response routing.
+fn execute_batch(shared: &Shared, jobs: &[Job]) {
     let metrics = &shared.metrics;
     let batch_start = Instant::now();
     metrics.batches.inc();
     metrics.batched_requests.add(jobs.len() as u64);
     metrics.max_batch.record_max(jobs.len() as u64);
     metrics.batch_size.record(jobs.len() as u64);
+
+    // Infer-stage fault hook: a panic here unwinds into `execute`'s
+    // catch_unwind, a delay stalls the batch (pushing queued requests
+    // toward their deadlines), an I/O fault fails the batch cleanly.
+    if let Some(faults) = &shared.faults {
+        match faults.check(Stage::Infer) {
+            None => {}
+            Some(FaultKind::Panic) => {
+                panic!("{}", FaultPlan::message(Stage::Infer, FaultKind::Panic))
+            }
+            Some(FaultKind::Delay(duration)) => std::thread::sleep(duration),
+            Some(FaultKind::IoError) => {
+                metrics
+                    .batch_latency_ns
+                    .record_duration(batch_start.elapsed());
+                let message = FaultPlan::message(Stage::Infer, FaultKind::IoError);
+                for job in jobs {
+                    metrics.failed.inc();
+                    let _ = job.respond.send(Err(ServeError::Internal(message.clone())));
+                }
+                return;
+            }
+        }
+    }
 
     // Group jobs by circuit identity (Arc pointer): cheap, and exact for
     // cache-served repeats. Uncached duplicates simply form singleton
@@ -602,6 +807,200 @@ mod tests {
         assert_eq!(scheduler.stats().rejected_shutdown, 4);
         // Idempotent.
         scheduler.shutdown();
+    }
+
+    #[test]
+    fn expired_requests_are_shed_before_inference() {
+        let session = test_session();
+        let circuit = chain_circuit(&session, 3);
+        // No workers: queue by hand, then drain one batch so the shed point
+        // is exercised deterministically.
+        let scheduler = Scheduler::new(
+            session,
+            &ServeConfig {
+                workers: 0,
+                max_batch: 8,
+                batch_window: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("valid config");
+        let expired = scheduler
+            .submit_with_deadline(Arc::clone(&circuit), Some(Instant::now()))
+            .expect("queue open");
+        let live = scheduler
+            .submit_with_deadline(
+                Arc::clone(&circuit),
+                Some(Instant::now() + Duration::from_secs(3600)),
+            )
+            .expect("queue open");
+        let jobs = next_batch(&scheduler.shared).expect("jobs queued");
+        execute(&scheduler.shared, jobs);
+        assert_eq!(
+            expired.recv().expect("terminal response"),
+            Err(ServeError::DeadlineExceeded),
+            "expired request must be shed with a clean error"
+        );
+        assert!(
+            live.recv().expect("terminal response").is_ok(),
+            "in-budget batch-mate still predicts"
+        );
+        let stats = scheduler.stats();
+        assert_eq!(stats.deadline_shed, 1);
+        assert_eq!(stats.completed, 1);
+        // Batch accounting covers live jobs only: one batch of one request.
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.batched, 1);
+    }
+
+    #[test]
+    fn a_fully_expired_batch_runs_no_inference_and_counts_no_batch() {
+        let session = test_session();
+        let circuit = chain_circuit(&session, 3);
+        let scheduler = Scheduler::new(
+            session,
+            &ServeConfig {
+                workers: 0,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("valid config");
+        let receivers: Vec<_> = (0..3)
+            .map(|_| {
+                scheduler
+                    .submit_with_deadline(Arc::clone(&circuit), Some(Instant::now()))
+                    .expect("queue open")
+            })
+            .collect();
+        let jobs = next_batch(&scheduler.shared).expect("jobs queued");
+        execute(&scheduler.shared, jobs);
+        for receiver in receivers {
+            assert_eq!(
+                receiver.recv().expect("terminal response"),
+                Err(ServeError::DeadlineExceeded)
+            );
+        }
+        let stats = scheduler.stats();
+        assert_eq!(stats.deadline_shed, 3);
+        assert_eq!(stats.batches, 0, "no live work, no batch");
+        assert_eq!(stats.batched, 0);
+        assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn infer_panics_are_recovered_and_the_worker_keeps_draining() {
+        let session = test_session();
+        let circuit = chain_circuit(&session, 3);
+        let faults =
+            Arc::new(FaultPlan::seeded(11).inject_limited(Stage::Infer, FaultKind::Panic, 1.0, 3));
+        let scheduler = Scheduler::new(
+            session,
+            &ServeConfig {
+                workers: 1,
+                max_batch: 1, // one request per batch: one panic each
+                faults: Some(Arc::clone(&faults)),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("valid config");
+        for round in 0..3 {
+            let result = scheduler.predict(Arc::clone(&circuit));
+            match result {
+                Err(ServeError::Internal(msg)) => {
+                    assert!(msg.contains("injected fault"), "round {round}: {msg}")
+                }
+                other => panic!("round {round}: expected Internal, got {other:?}"),
+            }
+        }
+        // Budget spent: the same worker thread — never respawned, the panic
+        // was caught — serves the next request normally.
+        assert!(faults.exhausted());
+        let probs = scheduler
+            .predict(Arc::clone(&circuit))
+            .expect("worker survived three panics");
+        assert!(!probs.is_empty());
+        let stats = scheduler.stats();
+        assert_eq!(stats.worker_panics_recovered, 3);
+        assert_eq!(stats.worker_respawns, 0, "catch_unwind kept the thread");
+        assert_eq!(stats.failed, 3);
+        assert_eq!(stats.completed, 1);
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn dropped_response_channel_reports_internal_not_shutting_down() {
+        let session = test_session();
+        let circuit = chain_circuit(&session, 3);
+        let scheduler = Scheduler::new(
+            session,
+            &ServeConfig {
+                workers: 0,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("valid config");
+        // Block a real predict() call on another thread, then simulate a
+        // worker dying mid-batch: take its job off the queue and drop it
+        // without responding.
+        let scheduler = Arc::new(scheduler);
+        let caller = {
+            let scheduler = Arc::clone(&scheduler);
+            std::thread::spawn(move || scheduler.predict(circuit))
+        };
+        let jobs = loop {
+            if let Some(jobs) = {
+                // Poll until the caller's submission is visible.
+                if scheduler.queue_len() > 0 {
+                    next_batch(&scheduler.shared)
+                } else {
+                    None
+                }
+            } {
+                break jobs;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        drop(jobs);
+        // The regression: this used to surface as ShuttingDown, masking a
+        // lost request as a clean drain. It must report an internal fault.
+        let result = caller.join().expect("caller thread survives");
+        assert!(
+            matches!(&result, Err(ServeError::Internal(msg)) if msg.contains("without responding")),
+            "a dead channel is an internal fault, not a clean shutdown: {result:?}"
+        );
+    }
+
+    #[test]
+    fn a_dying_worker_respawns_and_the_replacement_drains() {
+        let session = test_session();
+        let circuit = chain_circuit(&session, 3);
+        // No workers at start: the only drain capacity will come from the
+        // respawn path.
+        let scheduler = Scheduler::new(
+            session,
+            &ServeConfig {
+                workers: 0,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("valid config");
+        let shared = Arc::clone(&scheduler.shared);
+        let dying = std::thread::Builder::new()
+            .name("deepgate-serve-worker-7".into())
+            .spawn(move || {
+                let _guard = RespawnGuard { shared, index: 7 };
+                panic!("injected fault: simulated worker death");
+            })
+            .expect("spawns");
+        assert!(dying.join().is_err(), "the worker must actually die");
+        // The guard's drop ran during the unwind and spawned a replacement,
+        // which now serves requests.
+        let probs = scheduler
+            .predict(Arc::clone(&circuit))
+            .expect("replacement worker drains the queue");
+        assert!(!probs.is_empty());
+        assert_eq!(scheduler.stats().worker_respawns, 1);
+        scheduler.shutdown(); // joins the respawned worker too
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The `std::net` TCP front end: newline-delimited JSON requests over
 //! persistent connections, with graceful drain on shutdown.
 
+use crate::fault::panic_message;
 use crate::{
     b64, request_key, snapshot_to_value, text_key, CacheStats, CircuitCache, Scheduler,
     SchedulerStats, ServeConfig, ServeError, ServeMetrics,
@@ -8,11 +9,13 @@ use crate::{
 use deepgate::telemetry::{RequestTrace, SlowLog, Stage};
 use deepgate::{AigerBytes, BenchText, Engine, LatchPolicy, PreparedCircuit};
 use serde::{Serialize, Value};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// A point-in-time snapshot of every serving counter, serialised verbatim
 /// into the `stats` wire response.
@@ -24,6 +27,16 @@ pub struct ServerStats {
     pub cache: CacheStats,
     /// Connections accepted since start.
     pub connections: u64,
+    /// Connections cut by the hygiene layer (idle past `idle_timeout`, or
+    /// trickling a request line past `line_timeout`).
+    pub connections_reaped: u64,
+    /// Connections refused at accept because `max_connections` were open.
+    pub connections_rejected: u64,
+    /// Response writes dropped on a client that stopped reading within
+    /// `write_timeout`.
+    pub write_timeouts: u64,
+    /// Request-handler panics converted into error responses.
+    pub request_panics_recovered: u64,
 }
 
 struct Inner {
@@ -32,6 +45,9 @@ struct Inner {
     cache: CircuitCache,
     metrics: ServeMetrics,
     slow_log: Option<SlowLog>,
+    /// The resilience knobs the connection path consults per request:
+    /// deadlines, hygiene timeouts, size/fleet bounds and the fault plan.
+    config: ServeConfig,
     addr: SocketAddr,
     /// Set once shutdown is requested; new predict requests are refused.
     draining: AtomicBool,
@@ -90,6 +106,7 @@ impl Server {
             cache: CircuitCache::with_metrics(config.cache_capacity, metrics.cache.clone()),
             slow_log: config.slow_request_threshold.map(SlowLog::new),
             metrics,
+            config,
             addr,
             draining: AtomicBool::new(false),
             shutdown_requested: (Mutex::new(false), Condvar::new()),
@@ -194,7 +211,23 @@ impl Inner {
             scheduler: SchedulerStats::from_snapshot(&snapshot),
             cache: CacheStats::from_snapshot(&snapshot),
             connections: snapshot.counter("connections_accepted_total"),
+            connections_reaped: snapshot.counter("connections_reaped_total"),
+            connections_rejected: snapshot.counter("connections_rejected_total"),
+            write_timeouts: snapshot.counter("write_timeouts_total"),
+            request_panics_recovered: snapshot.counter("request_panics_recovered_total"),
         }
+    }
+
+    /// Consults the fault plan at a stage hook: panic and delay faults
+    /// apply in place (the panic unwinds into the caller's recovery layer),
+    /// I/O faults surface as [`ServeError::Internal`].
+    fn fault(&self, stage: Stage) -> Result<(), ServeError> {
+        if let Some(faults) = &self.config.faults {
+            faults
+                .fire(stage)
+                .map_err(|e| ServeError::Internal(e.to_string()))?;
+        }
+        Ok(())
     }
 
     fn request_shutdown(&self) {
@@ -217,6 +250,7 @@ impl Inner {
         if let Some(prepared) = self.cache.lookup_text(key) {
             return Ok(prepared);
         }
+        self.fault(Stage::Encode)?;
         let circuits = trace.time(Stage::Encode, || match payload {
             RequestPayload::Bench { name, text } => self
                 .engine
@@ -236,6 +270,7 @@ impl Inner {
         if let Some(prepared) = self.cache.lookup_fingerprint(key, circuit.fingerprint()) {
             return Ok(prepared);
         }
+        self.fault(Stage::Plan)?;
         let prepared = trace.time(Stage::Plan, || {
             Arc::new(self.scheduler.session().prepare(circuit))
         });
@@ -270,6 +305,28 @@ impl RequestPayload {
             }
         }
     }
+}
+
+/// Parses the `deadline_ms` field of a predict request and folds in the
+/// server-side cap: the *tighter* of the two budgets wins, and with neither
+/// present the request has no deadline. `deadline_ms: 0` is legal and
+/// deterministically sheds (the budget is already spent on arrival).
+fn parse_deadline(
+    value: Option<&Value>,
+    cap: Option<Duration>,
+) -> Result<Option<Duration>, String> {
+    let requested = match value {
+        None => None,
+        Some(Value::UInt(ms)) => Some(Duration::from_millis(*ms)),
+        Some(Value::Int(ms)) if *ms >= 0 => Some(Duration::from_millis(*ms as u64)),
+        Some(_) => {
+            return Err("`deadline_ms` must be a non-negative integer of milliseconds".into())
+        }
+    };
+    Ok(match (requested, cap) {
+        (Some(requested), Some(cap)) => Some(requested.min(cap)),
+        (requested, cap) => requested.or(cap),
+    })
 }
 
 /// Parses the `latch` field of a predict request: absent → `cut`, otherwise
@@ -361,6 +418,22 @@ fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
             }
             *guard = live;
         }
+        // Fleet bound: with every slot occupied (after reaping), refuse the
+        // connection with one best-effort error line instead of letting the
+        // thread count — and, with the one-request-at-a-time connection
+        // loop, the in-flight request count — grow without limit.
+        if inner.config.max_connections > 0 {
+            let open = inner.connections.lock().expect("connections lock").len();
+            if open >= inner.config.max_connections {
+                inner.metrics.connections_rejected.inc();
+                let mut stream = stream;
+                let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+                let _ = stream
+                    .write_all(b"{\"error\":\"server at connection capacity, try again later\"}\n");
+                let _ = stream.shutdown(Shutdown::Both);
+                continue;
+            }
+        }
         let Ok(monitor) = stream.try_clone() else {
             continue;
         };
@@ -379,11 +452,6 @@ fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
     }
 }
 
-/// Most bytes one request line may hold. Far above any realistic BENCH
-/// circuit, but bounded: a client streaming bytes without a newline is cut
-/// off here instead of growing the line buffer until the process OOMs.
-const MAX_REQUEST_BYTES: u64 = 8 * 1024 * 1024;
-
 /// Decrements the open-connections gauge (and counts the close) when a
 /// connection thread exits, whichever return path it takes.
 struct ConnectionGuard<'a>(&'a ServeMetrics);
@@ -395,75 +463,214 @@ impl Drop for ConnectionGuard<'_> {
     }
 }
 
+/// The read-timeout tick the hygiene layer polls at: a fraction of the
+/// tightest configured timeout (so expiry is detected promptly) clamped to
+/// `[5 ms, 1 s]` (so an idle connection costs at most one wake-up per
+/// second). `None` — no hygiene timeouts — keeps reads fully blocking.
+fn hygiene_tick(idle: Option<Duration>, line: Option<Duration>) -> Option<Duration> {
+    let tightest = match (idle, line) {
+        (None, None) => return None,
+        (Some(i), None) => i,
+        (None, Some(l)) => l,
+        (Some(i), Some(l)) => i.min(l),
+    };
+    Some((tightest / 4).clamp(Duration::from_millis(5), Duration::from_secs(1)))
+}
+
+/// How one attempt to complete the current request line ended.
+enum LineRead {
+    /// A full newline-terminated line is in the buffer.
+    Complete,
+    /// The socket's read tick expired; hygiene deadlines should be checked
+    /// and the read retried (partial bytes stay in the buffer).
+    Tick,
+    /// The connection is done (client closed, mid-request EOF, line over
+    /// the size limit — the closer has already responded if appropriate).
+    Close,
+}
+
 fn connection_loop(inner: &Arc<Inner>, stream: TcpStream) {
     inner.metrics.connections_open.inc();
     let _guard = ConnectionGuard(&inner.metrics);
+    // Socket timeouts are fd-level and shared with the cloned read half:
+    // writes get the configured cap outright; reads tick so the loop can
+    // enforce idle/line deadlines between blocking attempts.
+    let _ = stream.set_write_timeout(inner.config.write_timeout);
+    let _ = stream.set_read_timeout(hygiene_tick(
+        inner.config.idle_timeout,
+        inner.config.line_timeout,
+    ));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
+    serve_connection(inner, &mut reader, &mut writer);
+    // Retire the socket at the TCP level, not just this thread: the accept
+    // loop still holds a monitor clone of the fd (for forced close during
+    // drain), so without an explicit shutdown a cut client would see a
+    // zero-window socket that never dies instead of a prompt FIN/RST.
+    let _ = writer.shutdown(Shutdown::Both);
+}
+
+/// The request loop of one connection; returning retires the connection.
+fn serve_connection(inner: &Arc<Inner>, reader: &mut BufReader<TcpStream>, writer: &mut TcpStream) {
+    let config = &inner.config;
     let mut line = String::new();
+    let mut last_activity = Instant::now();
     loop {
         line.clear();
-        match std::io::Read::take(&mut reader, MAX_REQUEST_BYTES).read_line(&mut line) {
-            Ok(0) => return, // client closed
-            Ok(_) => {
-                if !line.ends_with('\n') && line.len() as u64 >= MAX_REQUEST_BYTES {
-                    // The limit was hit mid-line; no way to resync, so
-                    // report and drop the connection.
-                    inner.metrics.requests_unknown.inc();
-                    inner.metrics.request_errors.inc();
-                    let _ = writer.write_all(
-                        format!("{{\"error\":\"request exceeds {MAX_REQUEST_BYTES} bytes\"}}\n")
+        // Accumulate one request line across read ticks, policing the
+        // hygiene deadlines: no traffic at all → idle reaping; a line
+        // trickling in byte-by-byte → slow-loris cut-off.
+        let mut line_started: Option<Instant> = None;
+        loop {
+            match read_line_step(reader, &mut line, config.max_request_bytes) {
+                LineRead::Complete => break,
+                LineRead::Close => {
+                    if line.len() as u64 >= config.max_request_bytes {
+                        inner.metrics.requests_unknown.inc();
+                        inner.metrics.request_errors.inc();
+                        let _ = writer.write_all(
+                            format!(
+                                "{{\"error\":\"request exceeds {} bytes\"}}\n",
+                                config.max_request_bytes
+                            )
                             .as_bytes(),
-                    );
+                        );
+                    }
                     return;
                 }
-                if line.trim().is_empty() {
-                    continue;
+                LineRead::Tick => {
+                    let now = Instant::now();
+                    if line.is_empty() {
+                        if let Some(idle) = config.idle_timeout {
+                            if now.duration_since(last_activity) >= idle {
+                                inner.metrics.connections_reaped.inc();
+                                return;
+                            }
+                        }
+                    } else {
+                        // The deadline clock starts at the first tick that
+                        // observes partial bytes — at worst one tick late,
+                        // which the tick's clamp keeps proportionally small.
+                        let started = *line_started.get_or_insert(now);
+                        if let Some(limit) = config.line_timeout {
+                            if now.duration_since(started) >= limit {
+                                inner.metrics.connections_reaped.inc();
+                                let _ =
+                                    writer.write_all(b"{\"error\":\"request line timed out\"}\n");
+                                return;
+                            }
+                        }
+                    }
                 }
-                let mut trace = RequestTrace::start();
-                let outcome = handle_line(inner, &line, &mut trace);
-                if outcome
-                    .response
-                    .as_object()
-                    .is_some_and(|fields| fields.contains_key("error"))
-                {
-                    inner.metrics.request_errors.inc();
-                }
-                let write_ok = trace.time(Stage::Respond, || {
+            }
+        }
+        last_activity = Instant::now();
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut trace = RequestTrace::start();
+        // Request handling is guarded: a panic in the parse/encode/plan
+        // path (a bug, or an injected fault) becomes one error response on
+        // a live connection instead of a dropped thread.
+        let outcome = match std::panic::catch_unwind(AssertUnwindSafe(|| {
+            handle_line(inner, &line, &mut trace)
+        })) {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                inner.metrics.request_panics_recovered.inc();
+                LineOutcome::reply(error_response(
+                    None,
+                    &format!(
+                        "internal error: request handling panicked: {}",
+                        panic_message(payload.as_ref())
+                    ),
+                ))
+            }
+        };
+        if outcome
+            .response
+            .as_object()
+            .is_some_and(|fields| fields.contains_key("error"))
+        {
+            inner.metrics.request_errors.inc();
+        }
+        // The respond stage has its own guard: a panic while serialising or
+        // writing (only reachable via an injected fault today) closes this
+        // connection without killing the thread pool's accounting.
+        let write_result: std::io::Result<()> =
+            match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                trace.time(Stage::Respond, || -> std::io::Result<()> {
+                    if let Some(faults) = &config.faults {
+                        faults.fire(Stage::Respond)?;
+                    }
                     let mut payload = match serde_json::to_string(&outcome.response) {
                         Ok(json) => json,
                         Err(_) => r#"{"error":"internal: response serialisation failed"}"#.into(),
                     };
                     payload.push('\n');
-                    writer.write_all(payload.as_bytes()).is_ok() && writer.flush().is_ok()
-                });
-                // Stage histograms and the slow log track predict requests
-                // only, so `request_latency_ns.count` equals
-                // `requests_predict_total` exactly.
-                if let Some(name) = &outcome.predict {
-                    inner.metrics.stages.observe(&trace);
-                    if let Some(slow) = &inner.slow_log {
-                        if let Some(record) = slow.check("predict", name, &trace) {
-                            inner.metrics.slow_requests.inc();
-                            eprintln!("{record}");
-                        }
-                    }
+                    writer.write_all(payload.as_bytes())?;
+                    writer.flush()
+                })
+            })) {
+                Ok(result) => result,
+                Err(_) => {
+                    inner.metrics.request_panics_recovered.inc();
+                    Err(std::io::Error::other("respond stage panicked"))
                 }
-                if !write_ok {
-                    return;
+            };
+        let write_ok = match &write_result {
+            Ok(()) => true,
+            Err(e) => {
+                if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                    inner.metrics.write_timeouts.inc();
                 }
-                if outcome.shutdown {
-                    // Respond first, then begin the drain; the drain joins
-                    // this thread, so only flag the request here.
-                    inner.request_shutdown();
-                    return;
+                false
+            }
+        };
+        // Stage histograms and the slow log track predict requests
+        // only, so `request_latency_ns.count` equals
+        // `requests_predict_total` exactly.
+        if let Some(name) = &outcome.predict {
+            inner.metrics.stages.observe(&trace);
+            if let Some(slow) = &inner.slow_log {
+                if let Some(record) = slow.check("predict", name, &trace) {
+                    inner.metrics.slow_requests.inc();
+                    eprintln!("{record}");
                 }
             }
-            Err(_) => return, // force-closed during drain, or a socket error
         }
+        if !write_ok {
+            return;
+        }
+        if outcome.shutdown {
+            // Respond first, then begin the drain; the drain joins
+            // this thread, so only flag the request here.
+            inner.request_shutdown();
+            return;
+        }
+    }
+}
+
+/// One attempt to complete the current request line. Partial bytes already
+/// accumulated in `line` are kept across calls — a read timeout surfaces as
+/// [`LineRead::Tick`] with the buffer intact, which is what lets the caller
+/// enforce wall-clock deadlines on a line without losing data.
+fn read_line_step(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    max_request_bytes: u64,
+) -> LineRead {
+    let remaining = max_request_bytes.saturating_sub(line.len() as u64);
+    match std::io::Read::take(reader, remaining).read_line(line) {
+        Ok(_) if line.ends_with('\n') => LineRead::Complete,
+        // EOF (client closed, possibly mid-request) or the size limit hit
+        // without a newline: either way there is no resyncing this stream.
+        Ok(_) => LineRead::Close,
+        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => LineRead::Tick,
+        Err(_) => LineRead::Close,
     }
 }
 
@@ -492,6 +699,11 @@ impl LineOutcome {
 /// inside [`Inner::resolve`] on cache misses; queueing + model execution →
 /// `Infer`; the caller times `Respond` around the socket write).
 fn handle_line(inner: &Arc<Inner>, line: &str, trace: &mut RequestTrace) -> LineOutcome {
+    // Parse-stage fault hook: panics unwind into the connection loop's
+    // recovery guard (one error response), I/O faults answer directly.
+    if let Err(e) = inner.fault(Stage::Parse) {
+        return LineOutcome::reply(error_response(None, &e.to_string()));
+    }
     let parsed: Result<Value, _> = trace.time(Stage::Parse, || serde_json::from_str(line.trim()));
     let request = match parsed {
         Ok(value) => value,
@@ -572,8 +784,25 @@ fn handle_line(inner: &Arc<Inner>, line: &str, trace: &mut RequestTrace) -> Line
                     }
                 }
             };
+            let budget =
+                match parse_deadline(fields.get("deadline_ms"), inner.config.default_deadline) {
+                    Ok(budget) => budget,
+                    Err(message) => {
+                        return LineOutcome {
+                            response: error_response(id, &message),
+                            shutdown: false,
+                            predict,
+                        }
+                    }
+                };
+            // The budget is measured from the instant the request line was
+            // read — the trace's start — not from here, so time already
+            // spent parsing counts against it.
+            let deadline = budget.map(|budget| trace.started_at() + budget);
             let outcome = match inner.resolve(&payload, trace) {
-                Ok(prepared) => trace.time(Stage::Infer, || inner.scheduler.predict(prepared)),
+                Ok(prepared) => trace.time(Stage::Infer, || {
+                    inner.scheduler.predict_with_deadline(prepared, deadline)
+                }),
                 Err(e) => Err(e),
             };
             let response = match outcome {

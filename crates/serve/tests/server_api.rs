@@ -294,6 +294,327 @@ fn oversized_request_lines_are_rejected_not_buffered() {
 }
 
 #[test]
+fn oversized_line_boundary_cuts_one_connection_while_others_serve() {
+    // A small, explicit cap so the boundary is cheap to probe.
+    let cap: usize = 4096;
+    let server = start_server(ServeConfig {
+        max_request_bytes: cap as u64,
+        ..ServeConfig::default()
+    });
+    let mut bystander = Client::connect(&server);
+
+    // Exactly at the cap (payload + newline == cap bytes): the line is
+    // accepted as framing and answered — here with an invalid-JSON error,
+    // which is a *response*, not a cut.
+    let mut client = Client::connect(&server);
+    let fitting = format!("{}\n", "x".repeat(cap - 1));
+    client.writer.write_all(fitting.as_bytes()).expect("writes");
+    let mut line = String::new();
+    client
+        .reader
+        .read_line(&mut line)
+        .expect("response arrives");
+    assert!(line.contains("invalid JSON"), "got: {line}");
+    // The connection survived the at-boundary line.
+    let response = client.roundtrip(r#"{"id": 1, "op": "stats"}"#);
+    assert!(field(&response, "stats").as_object().is_some());
+
+    // One byte past the cap: the server reports the overflow and cuts this
+    // connection — there is no way to resync a stream mid-line.
+    let over = format!("{}\n", "x".repeat(cap));
+    client.writer.write_all(over.as_bytes()).expect("writes");
+    let mut line = String::new();
+    client
+        .reader
+        .read_line(&mut line)
+        .expect("error line arrives");
+    assert!(line.contains("exceeds"), "got: {line}");
+    let mut rest = String::new();
+    assert_eq!(
+        client.reader.read_line(&mut rest).expect("socket readable"),
+        0,
+        "connection must be closed after the overflow"
+    );
+
+    // The bystander connection kept serving throughout.
+    let response = bystander.roundtrip(&request_of(&[
+        ("id", Value::UInt(2)),
+        ("bench", Value::Str(FULL_ADDER.into())),
+    ]));
+    assert!(field(&response, "probs").as_array().is_some());
+    server.shutdown();
+}
+
+#[test]
+fn mid_request_disconnect_leaves_server_healthy() {
+    let server = start_server(ServeConfig::default());
+    let mut bystander = Client::connect(&server);
+    {
+        // Half a request, then vanish.
+        let mut client = Client::connect(&server);
+        client
+            .writer
+            .write_all(br#"{"id": 1, "bench": "INPUT(a)"#)
+            .expect("writes");
+        client.writer.flush().expect("flushes");
+    } // dropped: the socket closes mid-line
+      // The server notices the EOF and retires the connection thread; the
+      // bystander keeps serving. Poll the close counter so the assertion is
+      // not racing the reaper.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let response = bystander.roundtrip(r#"{"op": "metrics"}"#);
+        let closed = field(
+            field(field(&response, "metrics"), "counters"),
+            "connections_closed_total",
+        );
+        if matches!(closed, Value::UInt(n) if *n >= 1) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "disconnected client was never retired: {response:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let response = bystander.roundtrip(&request_of(&[
+        ("id", Value::UInt(2)),
+        ("bench", Value::Str(FULL_ADDER.into())),
+    ]));
+    assert!(field(&response, "probs").as_array().is_some());
+    server.shutdown();
+}
+
+#[test]
+fn slow_loris_partial_lines_are_reaped_by_the_line_timeout() {
+    let server = start_server(ServeConfig {
+        line_timeout: Some(Duration::from_millis(100)),
+        idle_timeout: Some(Duration::from_secs(30)),
+        ..ServeConfig::default()
+    });
+    let mut bystander = Client::connect(&server);
+
+    // Start a request line and stall: the classic slow-loris shape.
+    let client = TcpStream::connect(server.local_addr()).expect("connects");
+    let mut reader = BufReader::new(client.try_clone().expect("clone"));
+    let mut writer = client;
+    writer.write_all(br#"{"id": 1, "ben"#).expect("writes");
+    writer.flush().expect("flushes");
+    reader
+        .get_ref()
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("client read timeout");
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .expect("server cuts us off before the client timeout");
+    assert!(line.contains("timed out"), "got: {line}");
+    let mut rest = String::new();
+    assert_eq!(reader.read_line(&mut rest).expect("readable"), 0);
+
+    // The cut is visible in telemetry, and everyone else is unaffected.
+    let response = bystander.roundtrip(r#"{"op": "stats"}"#);
+    let reaped = field(field(&response, "stats"), "connections_reaped");
+    assert!(matches!(reaped, Value::UInt(n) if *n >= 1), "{response:?}");
+    let response = bystander.roundtrip(&request_of(&[
+        ("id", Value::UInt(2)),
+        ("bench", Value::Str(FULL_ADDER.into())),
+    ]));
+    assert!(field(&response, "probs").as_array().is_some());
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_are_reaped() {
+    let server = start_server(ServeConfig {
+        idle_timeout: Some(Duration::from_millis(100)),
+        line_timeout: Some(Duration::from_secs(30)),
+        ..ServeConfig::default()
+    });
+    let idler = TcpStream::connect(server.local_addr()).expect("connects");
+    idler
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("client read timeout");
+    let mut reader = BufReader::new(idler);
+    let mut line = String::new();
+    // An idle connection is closed silently — no traffic arrived, so no
+    // error line is owed — well before the client-side guard timeout.
+    assert_eq!(
+        reader
+            .read_line(&mut line)
+            .expect("server closes before the client timeout"),
+        0,
+        "expected a silent close, got: {line}"
+    );
+    // A fresh client (connected after the reap, so it cannot itself idle
+    // out mid-assertion) sees the reap in telemetry.
+    let mut bystander = Client::connect(&server);
+    let response = bystander.roundtrip(r#"{"op": "stats"}"#);
+    let reaped = field(field(&response, "stats"), "connections_reaped");
+    assert!(matches!(reaped, Value::UInt(n) if *n >= 1), "{response:?}");
+    server.shutdown();
+}
+
+#[test]
+fn a_client_that_stops_reading_is_cut_by_the_write_timeout() {
+    // A response stream big enough to overrun socket buffering: tens of
+    // thousands of pipelined `metrics_text` requests — a few hundred KB of
+    // requests that fan out into ~100 MB of multi-KB responses nobody
+    // reads. The responses pile up until the server's write blocks, trips
+    // `write_timeout` and the connection is cut — without stalling anyone
+    // else.
+    let server = start_server(ServeConfig {
+        write_timeout: Some(Duration::from_millis(250)),
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let mut bystander = Client::connect(&server);
+
+    let deaf = TcpStream::connect(server.local_addr()).expect("connects");
+    // Guard the test itself: once the server cuts us the socket dies
+    // promptly (FIN/RST), but never block the test thread indefinitely.
+    deaf.set_write_timeout(Some(Duration::from_secs(5)))
+        .expect("client write timeout");
+    let mut writer = deaf.try_clone().expect("clone");
+    let flood: String = "{\"op\": \"metrics_text\"}\n".repeat(20_000);
+    // The server may cut us mid-stream — a write error here is the test
+    // working, not failing.
+    let _ = writer.write_all(flood.as_bytes());
+    let _ = writer.flush();
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let response = bystander.roundtrip(r#"{"op": "stats"}"#);
+        let timeouts = field(field(&response, "stats"), "write_timeouts");
+        if matches!(timeouts, Value::UInt(n) if *n >= 1) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "write timeout never tripped: {response:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // The bystander was never blocked behind the deaf client.
+    let response = bystander.roundtrip(&request_of(&[
+        ("id", Value::UInt(2)),
+        ("bench", Value::Str(FULL_ADDER.into())),
+    ]));
+    assert!(field(&response, "probs").as_array().is_some());
+    drop(deaf);
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_refuses_the_overflow_client() {
+    let server = start_server(ServeConfig {
+        max_connections: 2,
+        ..ServeConfig::default()
+    });
+    // Two clients occupy the fleet (a roundtrip each proves they are live).
+    let mut first = Client::connect(&server);
+    let mut second = Client::connect(&server);
+    assert!(field(&first.roundtrip(r#"{"op": "stats"}"#), "stats")
+        .as_object()
+        .is_some());
+    assert!(field(&second.roundtrip(r#"{"op": "stats"}"#), "stats")
+        .as_object()
+        .is_some());
+    // The third is refused with one error line, then closed.
+    let overflow = TcpStream::connect(server.local_addr()).expect("connects");
+    overflow
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("client read timeout");
+    let mut reader = BufReader::new(overflow);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("rejection line arrives");
+    assert!(line.contains("connection capacity"), "got: {line}");
+    let response = first.roundtrip(r#"{"op": "stats"}"#);
+    let rejected = field(field(&response, "stats"), "connections_rejected");
+    assert!(
+        matches!(rejected, Value::UInt(n) if *n >= 1),
+        "{response:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn deadlines_flow_through_the_wire() {
+    let server = start_server(ServeConfig::default());
+    let mut client = Client::connect(&server);
+
+    // A spent budget (`deadline_ms: 0`) deterministically sheds: the
+    // request is expired the moment batch assembly sees it.
+    let response = client.roundtrip(&request_of(&[
+        ("id", Value::UInt(1)),
+        ("bench", Value::Str(FULL_ADDER.into())),
+        ("deadline_ms", Value::UInt(0)),
+    ]));
+    let Value::Str(message) = field(&response, "error") else {
+        panic!("expected shed error, got {response:?}");
+    };
+    assert!(message.contains("deadline exceeded"), "got: {message}");
+
+    // A generous budget predicts normally.
+    let response = client.roundtrip(&request_of(&[
+        ("id", Value::UInt(2)),
+        ("bench", Value::Str(FULL_ADDER.into())),
+        ("deadline_ms", Value::UInt(60_000)),
+    ]));
+    assert!(field(&response, "probs").as_array().is_some());
+
+    // Shed and completion are both visible in one stats snapshot.
+    let response = client.roundtrip(r#"{"op": "stats"}"#);
+    let scheduler = field(field(&response, "stats"), "scheduler");
+    assert_eq!(field(scheduler, "deadline_shed"), &Value::UInt(1));
+    assert_eq!(field(scheduler, "completed"), &Value::UInt(1));
+
+    // Malformed budgets are rejected before queueing.
+    let response = client.roundtrip(&request_of(&[
+        ("id", Value::UInt(3)),
+        ("bench", Value::Str(FULL_ADDER.into())),
+        ("deadline_ms", Value::Str("soon".into())),
+    ]));
+    let Value::Str(message) = field(&response, "error") else {
+        panic!("expected type error, got {response:?}");
+    };
+    assert!(message.contains("non-negative integer"), "got: {message}");
+    server.shutdown();
+}
+
+#[test]
+fn server_side_default_deadline_caps_every_request() {
+    // `default_deadline: 0` is an absurd cap no request can meet — which
+    // makes the server-side folding observable without timing games.
+    let server = start_server(ServeConfig {
+        default_deadline: Some(Duration::ZERO),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(&server);
+    // No client deadline at all: the cap alone sheds the request.
+    let response = client.roundtrip(&request_of(&[
+        ("id", Value::UInt(1)),
+        ("bench", Value::Str(FULL_ADDER.into())),
+    ]));
+    let Value::Str(message) = field(&response, "error") else {
+        panic!("expected shed error, got {response:?}");
+    };
+    assert!(message.contains("deadline exceeded"), "got: {message}");
+    // A generous client deadline cannot out-vote the tighter server cap.
+    let response = client.roundtrip(&request_of(&[
+        ("id", Value::UInt(2)),
+        ("bench", Value::Str(FULL_ADDER.into())),
+        ("deadline_ms", Value::UInt(60_000)),
+    ]));
+    assert!(
+        matches!(field(&response, "error"), Value::Str(m) if m.contains("deadline exceeded")),
+        "{response:?}"
+    );
+    assert_eq!(server.stats().scheduler.deadline_shed, 2);
+    server.shutdown();
+}
+
+#[test]
 fn aiger_payloads_flow_through_the_wire_in_both_latch_modes() {
     use deepgate::aig::aiger::{random_aig, write_aag, write_aig};
 

@@ -223,6 +223,27 @@ fn hammer_metrics_stay_consistent_under_concurrent_load() {
     assert_eq!(counter(&metrics, "scheduler_failed_total"), 0);
     assert_eq!(counter(&metrics, "request_errors_total"), 0);
 
+    // The resilience series are on the surface from the first scrape, and a
+    // healthy, deadline-free run trips none of them.
+    let counters = metrics.as_object().expect("metrics object")["counters"]
+        .as_object()
+        .expect("counters object");
+    for name in [
+        "scheduler_deadline_shed_total",
+        "worker_panics_recovered_total",
+        "worker_respawns_total",
+        "request_panics_recovered_total",
+        "connections_reaped_total",
+        "connections_rejected_total",
+        "write_timeouts_total",
+    ] {
+        assert_eq!(
+            counters.get(name),
+            Some(&Value::UInt(0)),
+            "`{name}` must exist and be zero in a fault-free run"
+        );
+    }
+
     // The request-latency histogram counts exactly the predict requests,
     // and every stage that runs on every predict matches it.
     for name in [

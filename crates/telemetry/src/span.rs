@@ -114,6 +114,12 @@ impl RequestTrace {
         self.started.elapsed()
     }
 
+    /// The instant the trace started — the request's arrival anchor, e.g.
+    /// for deadline arithmetic (`arrival + budget`).
+    pub fn started_at(&self) -> Instant {
+        self.started
+    }
+
     /// The stage that consumed the most time, if any stage ran.
     pub fn dominant(&self) -> Option<Stage> {
         Stage::ALL

@@ -93,6 +93,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // to stderr, naming its dominant stage — watch for them between the
         // request/response pairs below.
         slow_request_threshold: Some(Duration::ZERO),
+        // Resilience defaults: no server-side deadline cap, stock connection
+        // hygiene limits, no fault injection.
+        ..ServeConfig::default()
     };
     let server = Server::start(engine, config)?;
     println!("deepgate-serve listening on {}\n", server.local_addr());
