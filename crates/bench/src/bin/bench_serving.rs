@@ -3,7 +3,8 @@
 //! predict-per-request baseline, over repeated benchmark-suite circuits.
 //!
 //! Writes a `BENCH_serving.json` baseline (throughput, latency percentiles,
-//! batching and cache statistics) into the current directory. Accepts
+//! batching and cache statistics, plus a 512-connection C10K sweep proving
+//! the event loop's flat thread model) into the current directory. Accepts
 //! `--full` / `DEEPGATE_FULL=1` for a larger sweep like the table binaries.
 //!
 //! ```bash
@@ -16,6 +17,7 @@ use deepgate_serve::{ServeConfig, Server};
 use serde::{Serialize, Value};
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::TcpStream;
+use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 /// The JSON baseline written for future PRs to compare against.
@@ -61,6 +63,19 @@ struct ServingBaseline {
     /// The server's own `scheduler_deadline_shed_total` counter after the
     /// sweep — must equal the client-observed shed total.
     deadline_shed_total: u64,
+    /// C10K sweep: this many clients hold their sockets open *simultaneously*
+    /// on the event-driven front end while round-tripping cached circuits.
+    c10k_connections: usize,
+    /// Peak of the server's `connections_open` gauge with the fleet held —
+    /// must reach the full fleet size.
+    c10k_connections_open_peak: u64,
+    /// Serving-stack OS threads at peak fleet (event loop + workers; 0 where
+    /// `/proc` is unavailable). The blocking front end would sit at
+    /// `c10k_connections + 1` here.
+    c10k_server_threads: usize,
+    c10k_requests: usize,
+    c10k_s: f64,
+    c10k_rps: f64,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -133,6 +148,131 @@ fn deadline_phase(
         let (completed, shed) = worker.join().expect("client thread");
         (done + completed, cut + shed)
     })
+}
+
+/// One `metrics` round trip on an already-connected control socket,
+/// returning the response's `metrics` object.
+fn scrape_metrics(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream) -> Value {
+    writer
+        .write_all(b"{\"op\":\"metrics\"}\n")
+        .expect("scrape written");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("scrape response");
+    let response: Value = serde_json::from_str(&line).expect("metrics response is JSON");
+    response
+        .as_object()
+        .and_then(|o| o.get("metrics"))
+        .cloned()
+        .expect("metrics response carries a `metrics` object")
+}
+
+fn scrape_gauge(metrics: &Value, name: &str) -> u64 {
+    let gauge = metrics
+        .as_object()
+        .and_then(|o| o.get("gauges"))
+        .and_then(Value::as_object)
+        .and_then(|g| g.get(name));
+    match gauge {
+        Some(Value::UInt(v)) => *v,
+        Some(Value::Int(v)) if *v >= 0 => *v as u64,
+        other => panic!("gauge `{name}` missing or negative: {other:?}"),
+    }
+}
+
+/// How many live threads of this process belong to the serving stack.
+/// Thread names truncate to 15 bytes in `/proc`, so every server thread
+/// ("deepgate-serve-loop", "deepgate-serve-worker-N") reads as the shared
+/// "deepgate-serve-" prefix. Returns 0 where `/proc` is unavailable.
+fn server_thread_count() -> usize {
+    #[cfg(target_os = "linux")]
+    {
+        std::fs::read_dir("/proc/self/task")
+            .map(|tasks| {
+                tasks
+                    .filter_map(|entry| entry.ok())
+                    .filter(|entry| {
+                        std::fs::read_to_string(entry.path().join("comm"))
+                            .is_ok_and(|name| name.trim_end().starts_with("deepgate-serve"))
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
+/// The C10K sweep: `fleet` clients connect (paced, so the kernel accept
+/// backlog never overflows), all hold their sockets open while the
+/// `connections_open` gauge and the serving thread count are sampled at
+/// peak, then each round-trips `per_client` cached-circuit requests on its
+/// held connection. Returns `(gauge_peak, serving_threads, elapsed_s)`.
+fn c10k_phase(
+    addr: std::net::SocketAddr,
+    texts: &[String],
+    fleet: usize,
+    per_client: usize,
+) -> (u64, usize, f64) {
+    let connected = Arc::new(Barrier::new(fleet + 1));
+    let release = Arc::new(Barrier::new(fleet + 1));
+    let pace = Arc::new(Mutex::new(()));
+    let clients: Vec<_> = (0..fleet)
+        .map(|client| {
+            let texts = texts.to_vec();
+            let connected = Arc::clone(&connected);
+            let release = Arc::clone(&release);
+            let pace = Arc::clone(&pace);
+            std::thread::spawn(move || {
+                let stream = {
+                    let _pace = pace.lock().expect("pacing lock");
+                    TcpStream::connect(addr).expect("connects")
+                };
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut writer = stream;
+                // An empty line (skipped silently by the server): its data
+                // forces any handshake that raced the accept queue to
+                // materialise server-side before the peak-fleet checks.
+                writer.write_all(b"\n").expect("probe written");
+                connected.wait();
+                release.wait();
+                for request in 0..per_client {
+                    let line = predict_request(&texts[(client + request) % texts.len()]);
+                    writer.write_all(line.as_bytes()).expect("request written");
+                    let mut response = String::new();
+                    reader.read_line(&mut response).expect("response arrives");
+                    let _ = response_probs(&response);
+                }
+            })
+        })
+        .collect();
+    connected.wait();
+
+    // Every client socket is connected and held; admission is asynchronous,
+    // so poll the gauge up to a deadline.
+    let control = TcpStream::connect(addr).expect("connects");
+    let mut control_reader = BufReader::new(control.try_clone().expect("clone"));
+    let mut control_writer = control;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let peak = loop {
+        let open = scrape_gauge(
+            &scrape_metrics(&mut control_reader, &mut control_writer),
+            "connections_open",
+        );
+        if open >= fleet as u64 || Instant::now() >= deadline {
+            break open;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let threads = server_thread_count();
+
+    let start = Instant::now();
+    release.wait();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+    (peak, threads, start.elapsed().as_secs_f64())
 }
 
 /// Scrapes the server's `metrics` wire verb and extracts one histogram's
@@ -337,21 +477,39 @@ fn main() {
         let stream = TcpStream::connect(addr).expect("connects");
         let mut reader = BufReader::new(stream.try_clone().expect("clone"));
         let mut writer = stream;
-        writer
-            .write_all(b"{\"op\":\"metrics\"}\n")
-            .expect("scrape written");
-        let mut line = String::new();
-        reader.read_line(&mut line).expect("scrape response");
-        let response: Value = serde_json::from_str(&line).expect("metrics response is JSON");
-        response
-            .as_object()
-            .and_then(|o| o.get("metrics"))
-            .cloned()
-            .expect("metrics response carries a `metrics` object")
+        scrape_metrics(&mut reader, &mut writer)
     };
     let (latency_p50_ns, latency_p90_ns, latency_p99_ns, _) =
         scrape_histogram(&server_metrics, "request_latency_ns");
     let (_, _, _, batch_size_histogram) = scrape_histogram(&server_metrics, "batch_size");
+
+    // ---- C10K sweep: the event-driven front end holding the full fleet of
+    // sockets open at once, thread count flat, then serving the fleet's
+    // (cache-warm) requests.
+    let (c10k_connections, c10k_per_client) = match scale {
+        Scale::Quick => (512usize, 2usize),
+        Scale::Full => (512, 8),
+    };
+    let c10k_requests = c10k_connections * c10k_per_client;
+    let (c10k_peak, c10k_threads, c10k_s) =
+        c10k_phase(addr, &texts, c10k_connections, c10k_per_client);
+    let c10k_rps = c10k_requests as f64 / c10k_s;
+    eprintln!(
+        "[bench_serving] c10k: {c10k_connections} connections held (gauge peak {c10k_peak}), \
+         {c10k_threads} serving threads, {c10k_rps:.1} req/s"
+    );
+    assert!(
+        c10k_peak >= c10k_connections as u64,
+        "connections_open peaked at {c10k_peak}, wanted the full fleet of {c10k_connections}"
+    );
+    if c10k_threads > 0 {
+        let budget = ServeConfig::default().workers + 3;
+        assert!(
+            c10k_threads <= budget,
+            "thread count not flat: {c10k_threads} serving threads for \
+             {c10k_connections} connections (budget {budget})"
+        );
+    }
 
     // ---- Deadline sweep: the same cached circuits resubmitted under a
     // budget. Tight (the batch window itself) exercises shed-before-infer
@@ -413,6 +571,12 @@ fn main() {
         deadline_loose_completed: loose_completed,
         deadline_loose_shed: loose_shed,
         deadline_shed_total,
+        c10k_connections,
+        c10k_connections_open_peak: c10k_peak,
+        c10k_server_threads: c10k_threads,
+        c10k_requests,
+        c10k_s,
+        c10k_rps,
     };
 
     println!(
@@ -423,6 +587,7 @@ fn main() {
          batching   : mean {:.1}, max {}, {} deduplicated\n\
          cache      : {} hits / {} misses\n\
          deadlines  : {}ms -> {} shed, {}ms -> {} shed\n\
+         c10k       : {} conns held, {} serving threads, {:>8.1} req/s\n\
          exact      : {}",
         baseline.sequential_rps,
         baseline.server_rps,
@@ -442,6 +607,9 @@ fn main() {
         baseline.deadline_tight_shed,
         baseline.deadline_loose_ms,
         baseline.deadline_loose_shed,
+        baseline.c10k_connections,
+        baseline.c10k_server_threads,
+        baseline.c10k_rps,
         baseline.exact_match,
     );
 

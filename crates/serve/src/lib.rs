@@ -18,10 +18,44 @@
 //!   front of the parser) holding prepared circuits with their inference
 //!   plans, so repeated circuits skip BENCH parsing, AIG transformation,
 //!   graph encoding and planning entirely.
-//! - [`Server`] — a `std::net` TCP front end speaking newline-delimited
-//!   JSON (see the [wire protocol](#wire-protocol)) with graceful drain on
-//!   shutdown: in-flight requests complete, queued requests get a clean
-//!   error, and every thread joins.
+//! - [`Server`] — an event-driven `std::net` TCP front end speaking
+//!   newline-delimited JSON (see the [wire protocol](#wire-protocol)) with
+//!   graceful drain on shutdown: in-flight requests complete, queued
+//!   requests get a clean error, and every thread joins. See
+//!   [Architecture](#architecture) for the thread model.
+//!
+//! # Architecture
+//!
+//! The front end is a single-threaded **event loop** (thread
+//! `deepgate-serve-loop`) over nonblocking sockets: an OS readiness
+//! backend (epoll on Linux, portable `poll(2)` elsewhere — selectable via
+//! [`ServeConfig::poller`]) reports which sockets have bytes to read or
+//! room to write, and a slab connection table holds each connection's
+//! state. The OS thread count is **flat** — one event loop plus
+//! [`ServeConfig::workers`] batching workers — at any connection count,
+//! where the previous blocking front end spawned one thread per
+//! connection.
+//!
+//! Each connection is a small state machine:
+//!
+//! - **reading** — bytes accumulate in a zero-copy line framer; every
+//!   complete line is dispatched (`&[u8]` sliced straight from the read
+//!   buffer, no per-request allocation before parsing).
+//! - **awaiting inference** — predict requests are submitted to the
+//!   [`Scheduler`] *without blocking*; workers push results into a
+//!   completion queue and wake the loop through a wakeup channel
+//!   (`eventloop_completions_total` counts the round trips).
+//! - **writing** — responses queue in a per-connection write buffer that
+//!   drains through nonblocking partial writes. A buffer crossing the
+//!   high watermark (256 KiB) pauses request reading on that connection
+//!   (`write_backpressure_pauses_total`) until the client catches up.
+//! - **closing** — on EOF, error, hygiene-deadline expiry, or drain.
+//!
+//! The hygiene deadlines (idle / line / write) are timer-wheel entries
+//! re-validated against live connection state when they fire, not blocking
+//! read/write timeouts; their semantics and telemetry
+//! (`connections_reaped_total`, `write_timeouts_total`) are unchanged from
+//! the blocking front end.
 //!
 //! # Wire protocol
 //!
@@ -98,9 +132,11 @@
 //!   [`ServeConfig::write_timeout`] cuts clients that stop reading
 //!   responses, [`ServeConfig::max_connections`] bounds the connection
 //!   fleet, and [`ServeConfig::max_request_bytes`] bounds one request line.
-//!   The blocking front end handles one request per connection at a time,
-//!   so in-flight work per connection is bounded at 1 by construction and
-//!   total in-flight work by `max_connections + queue_depth`.
+//!   Pipelined requests on one connection are admitted up to the
+//!   scheduler's bounded queue, and per-connection response buffering is
+//!   bounded by the write-backpressure watermark — so total in-flight work
+//!   stays bounded by `queue_depth` plus the buffered bytes the watermark
+//!   allows.
 //! - **Fault injection** — [`ServeConfig::faults`] accepts a seeded,
 //!   stage-addressed [`fault::FaultPlan`] that injects panics, delays and
 //!   I/O errors at runtime hooks on the parse/encode/plan/infer/respond
@@ -130,19 +166,26 @@
 //! Errors come back as `{"id": ..., "error": "..."}`; malformed lines get
 //! an `id`-less error object. See `examples/serve_demo.rs` at the workspace
 //! root for a complete client session.
-#![forbid(unsafe_code)]
+// Unsafe is denied everywhere except the audited FFI shim in `poll::sys`
+// (epoll/poll syscalls; std offers no readiness API), which opts back in
+// with a scoped `#[allow]`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod b64;
 mod cache;
+mod conn;
 pub mod fault;
 mod metrics;
+mod poll;
 mod scheduler;
 mod server;
 
 pub use cache::{request_key, text_key, CacheStats, CircuitCache};
+pub use conn::{Flush, LineFramer, LineOverflow, WriteBuf};
 pub use fault::{FaultKind, FaultPlan};
 pub use metrics::{snapshot_to_value, CacheMetrics, SchedulerMetrics, ServeMetrics};
+pub use poll::PollerKind;
 pub use scheduler::{Scheduler, SchedulerStats};
 pub use server::{Server, ServerStats};
 
@@ -197,8 +240,8 @@ pub struct ServeConfig {
     /// dropped (default 30 s; `None` disables).
     pub write_timeout: Option<Duration>,
     /// Most connections served at once; further ones are refused with an
-    /// error line (default 1024; 0 = unlimited). With the one-request-at-a-
-    /// time connection loop this also bounds in-flight requests.
+    /// error line (default 1024; 0 = unlimited). Bounds the event loop's
+    /// connection table (and with it per-connection buffer memory).
     pub max_connections: usize,
     /// Most bytes one request line may hold; a line growing past this cuts
     /// the connection instead of buffering unboundedly (default 8 MiB).
@@ -206,6 +249,9 @@ pub struct ServeConfig {
     /// Deterministic fault-injection plan consulted at every stage hook
     /// (default `None` — no faults). See [`fault::FaultPlan`].
     pub faults: Option<Arc<FaultPlan>>,
+    /// Readiness backend of the event loop (default [`PollerKind::Auto`] —
+    /// epoll on Linux, portable `poll(2)` elsewhere).
+    pub poller: PollerKind,
 }
 
 impl Default for ServeConfig {
@@ -227,6 +273,7 @@ impl Default for ServeConfig {
             max_connections: 1024,
             max_request_bytes: 8 * 1024 * 1024,
             faults: None,
+            poller: PollerKind::Auto,
         }
     }
 }

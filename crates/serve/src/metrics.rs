@@ -162,6 +162,15 @@ pub struct ServeMetrics {
     /// `request_panics_recovered_total` — request-handler panics converted
     /// into error responses instead of dropped connections.
     pub request_panics_recovered: Arc<Counter>,
+    /// `eventloop_wakeups_total` — poller waits that returned (readiness,
+    /// timer expiry, or a wake from the scheduler).
+    pub eventloop_wakeups: Arc<Counter>,
+    /// `eventloop_completions_total` — scheduler completions routed back to
+    /// their connections by the event loop.
+    pub eventloop_completions: Arc<Counter>,
+    /// `write_backpressure_pauses_total` — connections whose request reading
+    /// was paused because their response buffer crossed the high watermark.
+    pub write_backpressure: Arc<Counter>,
 }
 
 impl Default for ServeMetrics {
@@ -194,6 +203,9 @@ impl ServeMetrics {
             connections_rejected: registry.counter("connections_rejected_total"),
             write_timeouts: registry.counter("write_timeouts_total"),
             request_panics_recovered: registry.counter("request_panics_recovered_total"),
+            eventloop_wakeups: registry.counter("eventloop_wakeups_total"),
+            eventloop_completions: registry.counter("eventloop_completions_total"),
+            write_backpressure: registry.counter("write_backpressure_pauses_total"),
             engine,
             scheduler,
             cache,

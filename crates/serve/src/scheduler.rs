@@ -4,6 +4,7 @@
 
 use crate::fault::{panic_message, FaultKind, FaultPlan};
 use crate::metrics::SchedulerMetrics;
+use crate::poll::Waker;
 use crate::{ServeConfig, ServeError};
 use deepgate::gnn::CircuitGraph;
 use deepgate::telemetry::{Registry, Stage};
@@ -11,17 +12,120 @@ use deepgate::{InferenceSession, PreparedCircuit};
 use serde::Serialize;
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// One queued prediction request: the prepared circuit, the channel its
+/// One terminal scheduler result addressed back to the event loop by the
+/// opaque token its submission carried.
+pub(crate) struct Completion {
+    /// The token passed to [`Scheduler::submit_async`].
+    pub token: u64,
+    /// The job's one terminal result.
+    pub result: Result<Vec<f32>, ServeError>,
+}
+
+/// The nonblocking response path: workers push completions here and wake
+/// the event loop, which drains the queue on its next iteration. The push
+/// side never blocks on anything but this short mutex, so batch execution
+/// is never coupled to socket backpressure.
+pub(crate) struct CompletionQueue {
+    queue: Mutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+impl CompletionQueue {
+    pub fn new(waker: Waker) -> CompletionQueue {
+        CompletionQueue {
+            queue: Mutex::new(Vec::new()),
+            waker,
+        }
+    }
+
+    /// Completions can be pushed from a panicking worker's unwind (the
+    /// [`Reply`] drop guard), so a poisoned mutex is recovered rather than
+    /// propagated — the queued `Vec` is always structurally valid.
+    fn push(&self, token: u64, result: Result<Vec<f32>, ServeError>) {
+        let mut queue = match self.queue.lock() {
+            Ok(queue) => queue,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        queue.push(Completion { token, result });
+        drop(queue);
+        self.waker.wake();
+    }
+
+    /// Takes every queued completion.
+    pub fn drain(&self) -> Vec<Completion> {
+        let mut queue = match self.queue.lock() {
+            Ok(queue) => queue,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        std::mem::take(&mut *queue)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        match self.queue.lock() {
+            Ok(queue) => queue.is_empty(),
+            Err(poisoned) => poisoned.into_inner().is_empty(),
+        }
+    }
+}
+
+/// How a job's terminal result travels back to its submitter: the
+/// blocking mpsc channel of [`Scheduler::predict`], or a completion-queue
+/// push that wakes the event loop. Exactly one terminal response per job
+/// is guaranteed on both paths — the async variant's drop guard converts
+/// a job dropped without a reply (a worker death even panic recovery
+/// missed) into an explicit internal error, mirroring what a dropped
+/// `Sender` signals to a blocking `recv`.
+enum Reply {
+    Sync(Sender<Result<Vec<f32>, ServeError>>),
+    Async {
+        token: u64,
+        queue: Arc<CompletionQueue>,
+        sent: AtomicBool,
+    },
+}
+
+impl Reply {
+    fn send(&self, result: Result<Vec<f32>, ServeError>) {
+        match self {
+            Reply::Sync(tx) => {
+                let _ = tx.send(result);
+            }
+            Reply::Async { token, queue, sent } => {
+                if !sent.swap(true, Ordering::SeqCst) {
+                    queue.push(*token, result);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Reply {
+    fn drop(&mut self) {
+        if let Reply::Async { token, queue, sent } = self {
+            if !sent.swap(true, Ordering::SeqCst) {
+                queue.push(
+                    *token,
+                    Err(ServeError::Internal(
+                        "worker dropped the response channel without responding".into(),
+                    )),
+                );
+            }
+        }
+    }
+}
+
+/// One queued prediction request: the prepared circuit, the reply path its
 /// result is routed back through, and the instant after which the answer is
 /// worthless.
 struct Job {
     circuit: Arc<PreparedCircuit>,
-    respond: Sender<Result<Vec<f32>, ServeError>>,
+    respond: Reply,
     /// Expired jobs are shed at batch assembly, before inference.
     deadline: Option<Instant>,
 }
@@ -228,17 +332,60 @@ impl Scheduler {
         deadline: Option<Instant>,
     ) -> Result<Receiver<Result<Vec<f32>, ServeError>>, ServeError> {
         let (respond, receive) = mpsc::channel();
+        self.enqueue(circuit, deadline, Reply::Sync(respond))?;
+        Ok(receive)
+    }
+
+    /// The event loop's nonblocking submission path: on completion the
+    /// result is pushed into `completions` under `token` and the loop's
+    /// waker fires. Rejections (queue full, shutting down) are returned
+    /// synchronously and push nothing — the caller answers inline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Overloaded`] when the queue is full and
+    /// [`ServeError::ShuttingDown`] once [`Scheduler::shutdown`] has begun.
+    pub(crate) fn submit_async(
+        &self,
+        circuit: Arc<PreparedCircuit>,
+        deadline: Option<Instant>,
+        token: u64,
+        completions: &Arc<CompletionQueue>,
+    ) -> Result<(), ServeError> {
+        self.enqueue(
+            circuit,
+            deadline,
+            Reply::Async {
+                token,
+                queue: Arc::clone(completions),
+                sent: AtomicBool::new(false),
+            },
+        )
+    }
+
+    fn enqueue(
+        &self,
+        circuit: Arc<PreparedCircuit>,
+        deadline: Option<Instant>,
+        respond: Reply,
+    ) -> Result<(), ServeError> {
         {
             let mut state = self.shared.state.lock().expect("scheduler lock");
             if !state.open {
                 self.shared.metrics.rejected_shutdown.inc();
-                return Err(ServeError::ShuttingDown);
+                // `respond` is dropped OUTSIDE the rejection: the caller
+                // answers a synchronous Err, so the reply must not also
+                // fire its drop-guard completion.
+                return Err(self.defuse(respond, ServeError::ShuttingDown));
             }
             if state.jobs.len() >= self.shared.queue_depth {
                 self.shared.metrics.rejected_overloaded.inc();
-                return Err(ServeError::Overloaded {
-                    depth: self.shared.queue_depth,
-                });
+                return Err(self.defuse(
+                    respond,
+                    ServeError::Overloaded {
+                        depth: self.shared.queue_depth,
+                    },
+                ));
             }
             state.jobs.push_back(Job {
                 circuit,
@@ -249,7 +396,17 @@ impl Scheduler {
         }
         self.shared.metrics.submitted.inc();
         self.shared.not_empty.notify_one();
-        Ok(receive)
+        Ok(())
+    }
+
+    /// Disarms a rejected reply so its drop guard stays silent — the
+    /// submitter gets the rejection as the synchronous return value, not
+    /// as a completion.
+    fn defuse(&self, respond: Reply, error: ServeError) -> ServeError {
+        if let Reply::Async { sent, .. } = &respond {
+            sent.store(true, Ordering::SeqCst);
+        }
+        error
     }
 
     /// Submits and blocks until the result arrives — the per-connection
@@ -335,7 +492,7 @@ impl Scheduler {
             .rejected_shutdown
             .add(flushed.len() as u64);
         for job in flushed {
-            let _ = job.respond.send(Err(ServeError::ShuttingDown));
+            job.respond.send(Err(ServeError::ShuttingDown));
         }
         let workers: Vec<JoinHandle<()>> = {
             let mut guard = self.workers.lock().expect("worker handles lock");
@@ -488,7 +645,7 @@ fn execute(shared: &Shared, jobs: Vec<Job>) {
         match job.deadline {
             Some(deadline) if now >= deadline => {
                 metrics.deadline_shed.inc();
-                let _ = job.respond.send(Err(ServeError::DeadlineExceeded));
+                job.respond.send(Err(ServeError::DeadlineExceeded));
             }
             _ => live.push(job),
         }
@@ -507,7 +664,7 @@ fn execute(shared: &Shared, jobs: Vec<Job>) {
         let message = panic_message(payload.as_ref());
         for job in &jobs {
             metrics.failed.inc();
-            let _ = job.respond.send(Err(ServeError::Internal(format!(
+            job.respond.send(Err(ServeError::Internal(format!(
                 "worker panicked: {message}"
             ))));
         }
@@ -541,7 +698,7 @@ fn execute_batch(shared: &Shared, jobs: &[Job]) {
                 let message = FaultPlan::message(Stage::Infer, FaultKind::IoError);
                 for job in jobs {
                     metrics.failed.inc();
-                    let _ = job.respond.send(Err(ServeError::Internal(message.clone())));
+                    job.respond.send(Err(ServeError::Internal(message.clone())));
                 }
                 return;
             }
@@ -595,7 +752,7 @@ fn execute_batch(shared: &Shared, jobs: &[Job]) {
                 .record_duration(batch_start.elapsed());
             for (job, &group) in jobs.iter().zip(&group_of_job) {
                 metrics.completed.inc();
-                let _ = job.respond.send(Ok(results[group].clone()));
+                job.respond.send(Ok(results[group].clone()));
             }
         }
         Err(_) => {
@@ -617,11 +774,11 @@ fn execute_batch(shared: &Shared, jobs: &[Job]) {
                 match result {
                     Ok(probs) => {
                         metrics.completed.inc();
-                        let _ = job.respond.send(Ok(probs));
+                        job.respond.send(Ok(probs));
                     }
                     Err(e) => {
                         metrics.failed.inc();
-                        let _ = job.respond.send(Err(e));
+                        job.respond.send(Err(e));
                     }
                 }
             }

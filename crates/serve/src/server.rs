@@ -1,7 +1,23 @@
-//! The `std::net` TCP front end: newline-delimited JSON requests over
-//! persistent connections, with graceful drain on shutdown.
+//! The TCP front end: an event-driven, nonblocking serving core speaking
+//! newline-delimited JSON over persistent connections.
+//!
+//! One event-loop thread owns every connection: a [`Poller`] (epoll on
+//! Linux, `poll(2)` elsewhere) reports socket readiness, a slab
+//! [`ConnTable`] holds per-connection read/write buffers, and a
+//! [`TimerWheel`] drives the hygiene deadlines (idle / line / write) as
+//! state-machine transitions instead of per-thread blocking reads. Predict
+//! requests are submitted to the scheduler without blocking; workers push
+//! results into a [`CompletionQueue`] and wake the loop through a
+//! [`Waker`], so the OS thread count stays flat — one loop plus the
+//! configured workers — at any connection fleet size.
 
+use crate::conn::{Conn, ConnTable, Flush, LineOverflow};
 use crate::fault::panic_message;
+use crate::poll::{
+    create_poller, waker, Event, Interest, Poller, TimerEntry, TimerKind, TimerWheel, WakeReceiver,
+    Waker,
+};
+use crate::scheduler::CompletionQueue;
 use crate::{
     b64, request_key, snapshot_to_value, text_key, CacheStats, CircuitCache, Scheduler,
     SchedulerStats, ServeConfig, ServeError, ServeMetrics,
@@ -9,13 +25,37 @@ use crate::{
 use deepgate::telemetry::{RequestTrace, SlowLog, Stage};
 use deepgate::{AigerBytes, BenchText, Engine, LatchPolicy, PreparedCircuit};
 use serde::{Serialize, Value};
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Poller token of the listening socket.
+const LISTENER: usize = 0;
+/// Poller token of the wakeup channel's read half.
+const WAKER_TOKEN: usize = 1;
+/// Connection slots map to poller tokens at this offset.
+const CONN_BASE: usize = 2;
+/// A connection whose write buffer crosses this stops having its requests
+/// read (backpressure) until the client drains responses below half of it.
+const WRITE_HIGH_WATERMARK: usize = 256 * 1024;
+const WRITE_LOW_WATERMARK: usize = WRITE_HIGH_WATERMARK / 2;
+/// Timer-wheel granularity and size: 256 slots × 10 ms = one rotation per
+/// 2.56 s; multi-rotation deadlines are handled by exact-deadline recheck.
+const TIMER_TICK: Duration = Duration::from_millis(10);
+const TIMER_SLOTS: usize = 256;
+/// The longest the loop sleeps with nothing scheduled.
+const IDLE_POLL_CAP: Duration = Duration::from_millis(500);
+/// Poll cadence while draining, so shutdown completes promptly.
+const DRAIN_POLL: Duration = Duration::from_millis(20);
+/// How long the drain waits for clients to accept already-buffered
+/// responses before cutting the remaining connections.
+const DRAIN_GRACE: Duration = Duration::from_secs(3);
 
 /// A point-in-time snapshot of every serving counter, serialised verbatim
 /// into the `stats` wire response.
@@ -53,11 +93,15 @@ struct Inner {
     draining: AtomicBool,
     /// Signalled when a shutdown request arrives (wire verb or API call).
     shutdown_requested: (Mutex<bool>, Condvar),
-    connections: Mutex<Vec<(JoinHandle<()>, TcpStream)>>,
+    /// Wakes the event loop out of its poller wait from any thread.
+    waker: Waker,
+    /// Set by [`Server::drain`] once the scheduler has flushed: from then
+    /// on no new completions can appear and the loop may finish draining.
+    scheduler_drained: AtomicBool,
 }
 
 /// The serving front end: owns the engine, the scheduler, the cache and the
-/// listener/connection threads.
+/// event-loop thread.
 ///
 /// ```no_run
 /// use deepgate::Engine;
@@ -70,18 +114,20 @@ struct Inner {
 /// ```
 pub struct Server {
     inner: Arc<Inner>,
-    listener: Mutex<Option<JoinHandle<()>>>,
+    event_loop: Mutex<Option<JoinHandle<()>>>,
     drained: AtomicBool,
+    backend: &'static str,
 }
 
 impl Server {
-    /// Binds `config.addr` and starts the listener, workers and cache.
+    /// Binds `config.addr` and starts the event loop, workers and cache.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::Config`] for inconsistent settings (including
-    /// `workers == 0`, which only [`Scheduler::new`] accepts) and
-    /// [`ServeError::Io`] if the address cannot be bound.
+    /// `workers == 0`, which only [`Scheduler::new`] accepts, and forcing a
+    /// poller backend the platform lacks) and [`ServeError::Io`] if the
+    /// address cannot be bound or the poller cannot be created.
     pub fn start(mut engine: Engine, config: ServeConfig) -> Result<Server, ServeError> {
         if config.workers == 0 {
             return Err(ServeError::Config(
@@ -93,13 +139,26 @@ impl Server {
         // all record into `metrics`, so one snapshot reads them all.
         let metrics = ServeMetrics::new();
         engine.set_metrics(Arc::clone(&metrics.engine));
+        let (wake_tx, wake_rx) =
+            waker().map_err(|e| ServeError::Io(format!("wakeup channel: {e}")))?;
+        let completions = Arc::new(CompletionQueue::new(wake_tx.clone()));
         let scheduler =
             Scheduler::with_metrics(engine.session(), &config, metrics.scheduler.clone())?;
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| ServeError::Io(format!("binding {}: {e}", config.addr)))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ServeError::Io(format!("nonblocking listener: {e}")))?;
         let addr = listener
             .local_addr()
             .map_err(|e| ServeError::Io(format!("local_addr: {e}")))?;
+        let poller = create_poller(config.poller).map_err(|e| {
+            if e.kind() == ErrorKind::Unsupported {
+                ServeError::Config(e.to_string())
+            } else {
+                ServeError::Io(format!("creating poller: {e}"))
+            }
+        })?;
         let inner = Arc::new(Inner {
             engine,
             scheduler,
@@ -110,18 +169,28 @@ impl Server {
             addr,
             draining: AtomicBool::new(false),
             shutdown_requested: (Mutex::new(false), Condvar::new()),
-            connections: Mutex::new(Vec::new()),
+            waker: wake_tx,
+            scheduler_drained: AtomicBool::new(false),
         });
-        let accept_inner = Arc::clone(&inner);
-        let listener_thread = std::thread::Builder::new()
-            .name("deepgate-serve-listener".into())
-            .spawn(move || accept_loop(&accept_inner, listener))
-            .map_err(|e| ServeError::Io(format!("spawning listener: {e}")))?;
+        let backend = poller.backend();
+        let event_loop = EventLoop::new(Arc::clone(&inner), listener, poller, wake_rx, completions)
+            .map_err(|e| ServeError::Io(format!("registering event loop fds: {e}")))?;
+        let handle = std::thread::Builder::new()
+            .name("deepgate-serve-loop".into())
+            .spawn(move || event_loop.run())
+            .map_err(|e| ServeError::Io(format!("spawning event loop: {e}")))?;
         Ok(Server {
             inner,
-            listener: Mutex::new(Some(listener_thread)),
+            event_loop: Mutex::new(Some(handle)),
             drained: AtomicBool::new(false),
+            backend,
         })
+    }
+
+    /// The readiness backend the event loop runs on (`"epoll"` or
+    /// `"poll"`), for startup logs.
+    pub fn poller_backend(&self) -> &'static str {
+        self.backend
     }
 
     /// The bound address (resolves the ephemeral port of `addr: …:0`).
@@ -160,7 +229,7 @@ impl Server {
 
     /// Graceful shutdown: requests the drain and performs it. In-flight
     /// requests complete, queued requests get [`ServeError::ShuttingDown`],
-    /// and the listener and every connection thread join. Idempotent.
+    /// and the event loop and every worker join. Idempotent.
     pub fn shutdown(&self) {
         self.inner.request_shutdown();
         self.drain();
@@ -170,26 +239,19 @@ impl Server {
         if self.drained.swap(true, Ordering::SeqCst) {
             return;
         }
-        // 1. Stop accepting: the flag is already set (request_shutdown);
-        //    a wake-up connection unblocks the accept loop.
-        let _ = TcpStream::connect(self.inner.addr);
-        if let Some(listener) = self.listener.lock().expect("listener lock").take() {
-            let _ = listener.join();
-        }
-        // 2. Drain the scheduler: executing batches complete and respond,
-        //    queued requests get a clean ShuttingDown error.
+        // 1. Stop accepting: the flag is already set (request_shutdown) and
+        //    the waker pulls the loop out of its wait; its drain step drops
+        //    the listener on the next iteration.
+        self.inner.waker.wake();
+        // 2. Drain the scheduler: executing batches complete and push their
+        //    completions, queued requests get a clean ShuttingDown error on
+        //    the same path. After this returns no new completion can appear.
         self.inner.scheduler.shutdown();
-        // 3. Unblock connection threads stuck reading idle sockets, then
-        //    join them. Threads mid-response finish their write first —
-        //    joining waits for that.
-        let connections: Vec<(JoinHandle<()>, TcpStream)> = {
-            let mut guard = self.inner.connections.lock().expect("connections lock");
-            guard.drain(..).collect()
-        };
-        for (_, stream) in &connections {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-        for (handle, _) in connections {
+        self.inner.scheduler_drained.store(true, Ordering::SeqCst);
+        self.inner.waker.wake();
+        // 3. The loop flushes buffered responses (bounded by DRAIN_GRACE),
+        //    retires every connection and exits; join it.
+        if let Some(handle) = self.event_loop.lock().expect("event loop lock").take() {
             let _ = handle.join();
         }
     }
@@ -235,6 +297,8 @@ impl Inner {
         let (flag, signal) = &self.shutdown_requested;
         *flag.lock().expect("shutdown flag lock") = true;
         signal.notify_all();
+        // Pull the event loop out of its wait so it stops accepting now.
+        self.waker.wake();
     }
 
     /// Resolves a request payload to a prepared circuit through the
@@ -396,244 +460,547 @@ fn parse_payload(
     })
 }
 
-fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
-    for stream in listener.incoming() {
-        if inner.draining.load(Ordering::SeqCst) {
-            return; // the wake-up connection (or any later one) is dropped
+/// A predict request submitted to the scheduler and not yet answered: the
+/// routing context its completion needs to become a wire response.
+struct PendingPredict {
+    slot: usize,
+    generation: u64,
+    id: Option<Value>,
+    name: String,
+    trace: RequestTrace,
+    /// When the job entered the queue; the completion's `Infer` span is
+    /// measured from here (queueing + batching + model execution, exactly
+    /// what the blocking front end attributed to the stage).
+    infer_started: Instant,
+}
+
+/// The event loop: the single thread owning the listener, every connection
+/// and the timer wheel.
+struct EventLoop {
+    inner: Arc<Inner>,
+    poller: Box<dyn Poller>,
+    /// Dropped when the drain begins, so new connections stop arriving.
+    listener: Option<TcpListener>,
+    wake_rx: WakeReceiver,
+    table: ConnTable,
+    timers: TimerWheel,
+    /// Outstanding async predictions keyed by completion token.
+    pending: HashMap<u64, PendingPredict>,
+    completions: Arc<CompletionQueue>,
+    next_token: u64,
+    /// Connections unpaused this iteration: their buffered requests resume
+    /// processing after the event batch (not recursively inside it).
+    resume: Vec<usize>,
+    /// Drain grace deadline, armed when every response has been computed.
+    flush_deadline: Option<Instant>,
+}
+
+/// What one dispatched request line asks the event loop to do.
+enum LineAction {
+    /// Queue a response (and optionally begin the drain).
+    Respond {
+        response: Value,
+        /// `Some(request name)` when the line was a predict request — only
+        /// those fold into the stage histograms and the slow log.
+        predict: Option<String>,
+        /// The connection requested a server shutdown.
+        shutdown: bool,
+    },
+    /// Submit a prepared circuit to the scheduler without blocking.
+    Submit {
+        prepared: Arc<PreparedCircuit>,
+        deadline: Option<Instant>,
+        id: Option<Value>,
+        name: String,
+    },
+}
+
+impl LineAction {
+    fn reply(response: Value) -> Self {
+        LineAction::Respond {
+            response,
+            predict: None,
+            shutdown: false,
         }
-        let Ok(stream) = stream else { continue };
-        inner.metrics.connections_accepted.inc();
-        // Reap connections that have already closed, so a long-running
-        // server churning through short-lived clients does not accumulate
-        // one cloned socket and join handle per connection forever.
-        {
-            let mut guard = inner.connections.lock().expect("connections lock");
-            let mut live = Vec::with_capacity(guard.len() + 1);
-            for (handle, monitor) in guard.drain(..) {
-                if handle.is_finished() {
-                    let _ = handle.join();
-                } else {
-                    live.push((handle, monitor));
-                }
-            }
-            *guard = live;
-        }
-        // Fleet bound: with every slot occupied (after reaping), refuse the
-        // connection with one best-effort error line instead of letting the
-        // thread count — and, with the one-request-at-a-time connection
-        // loop, the in-flight request count — grow without limit.
-        if inner.config.max_connections > 0 {
-            let open = inner.connections.lock().expect("connections lock").len();
-            if open >= inner.config.max_connections {
-                inner.metrics.connections_rejected.inc();
-                let mut stream = stream;
-                let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
-                let _ = stream
-                    .write_all(b"{\"error\":\"server at connection capacity, try again later\"}\n");
-                let _ = stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// One step of slicing buffered bytes into request lines, extracted from
+/// the connection borrow so the loop can act on the table afterwards.
+enum Step {
+    /// The line limit was breached; answer once and cut the connection.
+    Overflow,
+    /// Only a partial line (or nothing) is buffered; wait for more bytes,
+    /// arming the slow-loris timer if a partial line just started.
+    Wait { arm_line_timer: Option<Instant> },
+    /// The line is not valid UTF-8; the stream cannot be resynced.
+    BadUtf8,
+    /// An empty line: skipped without a response, like the blocking reader.
+    Skip,
+    /// A complete line, dispatched to an action.
+    Act(LineAction, RequestTrace),
+}
+
+impl EventLoop {
+    fn new(
+        inner: Arc<Inner>,
+        listener: TcpListener,
+        mut poller: Box<dyn Poller>,
+        wake_rx: WakeReceiver,
+        completions: Arc<CompletionQueue>,
+    ) -> std::io::Result<EventLoop> {
+        poller.register(listener.as_raw_fd(), LISTENER, Interest::READABLE)?;
+        poller.register(wake_rx.fd(), WAKER_TOKEN, Interest::READABLE)?;
+        Ok(EventLoop {
+            inner,
+            poller,
+            listener: Some(listener),
+            wake_rx,
+            table: ConnTable::new(),
+            timers: TimerWheel::new(TIMER_TICK, TIMER_SLOTS, Instant::now()),
+            pending: HashMap::new(),
+            completions,
+            next_token: 0,
+            resume: Vec::new(),
+            flush_deadline: None,
+        })
+    }
+
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            let timeout = self.poll_timeout();
+            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                // A failing poller must not busy-spin; EINTR is already
+                // mapped to a clean zero-event wakeup below this.
+                std::thread::sleep(Duration::from_millis(1));
                 continue;
             }
-        }
-        let Ok(monitor) = stream.try_clone() else {
-            continue;
-        };
-        let conn_inner = Arc::clone(inner);
-        let Ok(handle) = std::thread::Builder::new()
-            .name("deepgate-serve-conn".into())
-            .spawn(move || connection_loop(&conn_inner, stream))
-        else {
-            continue;
-        };
-        inner
-            .connections
-            .lock()
-            .expect("connections lock")
-            .push((handle, monitor));
-    }
-}
-
-/// Decrements the open-connections gauge (and counts the close) when a
-/// connection thread exits, whichever return path it takes.
-struct ConnectionGuard<'a>(&'a ServeMetrics);
-
-impl Drop for ConnectionGuard<'_> {
-    fn drop(&mut self) {
-        self.0.connections_open.dec();
-        self.0.connections_closed.inc();
-    }
-}
-
-/// The read-timeout tick the hygiene layer polls at: a fraction of the
-/// tightest configured timeout (so expiry is detected promptly) clamped to
-/// `[5 ms, 1 s]` (so an idle connection costs at most one wake-up per
-/// second). `None` — no hygiene timeouts — keeps reads fully blocking.
-fn hygiene_tick(idle: Option<Duration>, line: Option<Duration>) -> Option<Duration> {
-    let tightest = match (idle, line) {
-        (None, None) => return None,
-        (Some(i), None) => i,
-        (None, Some(l)) => l,
-        (Some(i), Some(l)) => i.min(l),
-    };
-    Some((tightest / 4).clamp(Duration::from_millis(5), Duration::from_secs(1)))
-}
-
-/// How one attempt to complete the current request line ended.
-enum LineRead {
-    /// A full newline-terminated line is in the buffer.
-    Complete,
-    /// The socket's read tick expired; hygiene deadlines should be checked
-    /// and the read retried (partial bytes stay in the buffer).
-    Tick,
-    /// The connection is done (client closed, mid-request EOF, line over
-    /// the size limit — the closer has already responded if appropriate).
-    Close,
-}
-
-fn connection_loop(inner: &Arc<Inner>, stream: TcpStream) {
-    inner.metrics.connections_open.inc();
-    let _guard = ConnectionGuard(&inner.metrics);
-    // Socket timeouts are fd-level and shared with the cloned read half:
-    // writes get the configured cap outright; reads tick so the loop can
-    // enforce idle/line deadlines between blocking attempts.
-    let _ = stream.set_write_timeout(inner.config.write_timeout);
-    let _ = stream.set_read_timeout(hygiene_tick(
-        inner.config.idle_timeout,
-        inner.config.line_timeout,
-    ));
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    serve_connection(inner, &mut reader, &mut writer);
-    // Retire the socket at the TCP level, not just this thread: the accept
-    // loop still holds a monitor clone of the fd (for forced close during
-    // drain), so without an explicit shutdown a cut client would see a
-    // zero-window socket that never dies instead of a prompt FIN/RST.
-    let _ = writer.shutdown(Shutdown::Both);
-}
-
-/// The request loop of one connection; returning retires the connection.
-fn serve_connection(inner: &Arc<Inner>, reader: &mut BufReader<TcpStream>, writer: &mut TcpStream) {
-    let config = &inner.config;
-    let mut line = String::new();
-    let mut last_activity = Instant::now();
-    loop {
-        line.clear();
-        // Accumulate one request line across read ticks, policing the
-        // hygiene deadlines: no traffic at all → idle reaping; a line
-        // trickling in byte-by-byte → slow-loris cut-off.
-        let mut line_started: Option<Instant> = None;
-        loop {
-            match read_line_step(reader, &mut line, config.max_request_bytes) {
-                LineRead::Complete => break,
-                LineRead::Close => {
-                    if line.len() as u64 >= config.max_request_bytes {
-                        inner.metrics.requests_unknown.inc();
-                        inner.metrics.request_errors.inc();
-                        let _ = writer.write_all(
-                            format!(
-                                "{{\"error\":\"request exceeds {} bytes\"}}\n",
-                                config.max_request_bytes
-                            )
-                            .as_bytes(),
-                        );
+            self.inner.metrics.eventloop_wakeups.inc();
+            for &ev in &events {
+                match ev.token {
+                    LISTENER => self.accept_ready(),
+                    WAKER_TOKEN => {} // drained below, before the completions
+                    token => {
+                        let slot = token - CONN_BASE;
+                        if ev.writable {
+                            self.flush_conn(slot);
+                        }
+                        // A hangup without readable interest still routes
+                        // through the read path: the read observes the
+                        // EOF/error and retires the connection.
+                        if ev.readable || ev.hangup {
+                            self.read_conn(slot);
+                        }
                     }
+                }
+            }
+            self.drain_completions();
+            // Connections unpaused by response flushes resume their
+            // buffered requests now, outside any borrow of the flusher.
+            let resume = std::mem::take(&mut self.resume);
+            for slot in resume {
+                self.read_conn(slot);
+            }
+            self.run_timers();
+            if self.inner.draining.load(Ordering::SeqCst) && self.drain_step() {
+                return;
+            }
+        }
+    }
+
+    /// How long the next poller wait may sleep: until the earliest timer
+    /// deadline, capped so state flags (draining) are noticed promptly.
+    fn poll_timeout(&self) -> Duration {
+        let cap = if self.inner.draining.load(Ordering::SeqCst) {
+            DRAIN_POLL
+        } else {
+            IDLE_POLL_CAP
+        };
+        match self.timers.next_timeout(Instant::now()) {
+            Some(until) => until.min(cap),
+            None => cap,
+        }
+    }
+
+    /// Accepts every connection the listener has queued (level-triggered:
+    /// anything left re-reports on the next wait).
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => self.admit(stream),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        if self.inner.draining.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        self.inner.metrics.connections_accepted.inc();
+        // Fleet bound: with every slot occupied, refuse the connection with
+        // one best-effort error line instead of letting per-connection
+        // buffers grow without limit. The accepted socket is still in
+        // blocking mode here, so the bounded write timeout applies.
+        let cap = self.inner.config.max_connections;
+        if cap > 0 && self.table.len() >= cap {
+            self.inner.metrics.connections_rejected.inc();
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+            let _ = stream
+                .write_all(b"{\"error\":\"server at connection capacity, try again later\"}\n");
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        let now = Instant::now();
+        let max_line = self.inner.config.max_request_bytes;
+        let (slot, generation) = self
+            .table
+            .insert(move |generation| Conn::new(stream, generation, max_line, now));
+        let fd = self
+            .table
+            .get_mut(slot)
+            .expect("just inserted")
+            .stream
+            .as_raw_fd();
+        if self
+            .poller
+            .register(fd, slot + CONN_BASE, Interest::READABLE)
+            .is_err()
+        {
+            if let Some(conn) = self.table.remove(slot) {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+            }
+            return;
+        }
+        self.inner.metrics.connections_open.inc();
+        if let Some(idle) = self.inner.config.idle_timeout {
+            self.timers.insert(TimerEntry {
+                deadline: now + idle,
+                token: slot,
+                generation,
+                kind: TimerKind::Idle,
+            });
+        }
+    }
+
+    /// Reads everything the socket has (level-triggered readiness makes
+    /// partial reads safe), slicing out and dispatching complete lines.
+    fn read_conn(&mut self, slot: usize) {
+        loop {
+            if self.process_buffered_lines(slot) {
+                return; // connection closed
+            }
+            let Some(conn) = self.table.get_mut(slot) else {
+                return;
+            };
+            if conn.paused || conn.close_after_drain {
+                break;
+            }
+            match conn.framer.read_from(&mut conn.stream) {
+                Ok(0) => {
+                    // EOF: dispatch whatever is already buffered, then
+                    // retire — immediately if idle, after the drain if
+                    // responses are still owed or in flight.
+                    if self.process_buffered_lines(slot) {
+                        return;
+                    }
+                    let Some(conn) = self.table.get_mut(slot) else {
+                        return;
+                    };
+                    if conn.inflight == 0 && conn.out.is_empty() {
+                        self.close_conn(slot);
+                        return;
+                    }
+                    conn.close_after_drain = true;
+                    break;
+                }
+                Ok(_) => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(slot);
                     return;
                 }
-                LineRead::Tick => {
-                    let now = Instant::now();
-                    if line.is_empty() {
-                        if let Some(idle) = config.idle_timeout {
-                            if now.duration_since(last_activity) >= idle {
-                                inner.metrics.connections_reaped.inc();
-                                return;
+            }
+        }
+        self.sync_interest(slot);
+    }
+
+    /// Slices and dispatches every complete request line buffered on
+    /// `slot`. Returns `true` when the connection was closed.
+    fn process_buffered_lines(&mut self, slot: usize) -> bool {
+        let inner = Arc::clone(&self.inner);
+        loop {
+            let step = {
+                let Some(conn) = self.table.get_mut(slot) else {
+                    return true;
+                };
+                if conn.paused || conn.close_after_drain {
+                    return false;
+                }
+                let now = Instant::now();
+                match conn.framer.next_line() {
+                    Err(LineOverflow) => Step::Overflow,
+                    Ok(None) => {
+                        conn.framer.compact();
+                        if conn.framer.pending() == 0 {
+                            conn.line_started = None;
+                            Step::Wait {
+                                arm_line_timer: None,
+                            }
+                        } else if conn.line_started.is_none() {
+                            // The slow-loris clock starts when the first
+                            // partial bytes are observed.
+                            conn.line_started = Some(now);
+                            Step::Wait {
+                                arm_line_timer: Some(now),
+                            }
+                        } else {
+                            Step::Wait {
+                                arm_line_timer: None,
                             }
                         }
-                    } else {
-                        // The deadline clock starts at the first tick that
-                        // observes partial bytes — at worst one tick late,
-                        // which the tick's clamp keeps proportionally small.
-                        let started = *line_started.get_or_insert(now);
-                        if let Some(limit) = config.line_timeout {
-                            if now.duration_since(started) >= limit {
-                                inner.metrics.connections_reaped.inc();
-                                let _ =
-                                    writer.write_all(b"{\"error\":\"request line timed out\"}\n");
-                                return;
+                    }
+                    Ok(Some(line)) => {
+                        conn.last_activity = now;
+                        conn.line_started = None;
+                        match std::str::from_utf8(line) {
+                            Err(_) => Step::BadUtf8,
+                            Ok(text) if text.trim().is_empty() => Step::Skip,
+                            Ok(text) => {
+                                let mut trace = RequestTrace::start();
+                                // Request handling is guarded: a panic in
+                                // the parse/encode/plan path (a bug, or an
+                                // injected fault) becomes one error
+                                // response on a live connection.
+                                let action =
+                                    match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                        handle_line(&inner, text, &mut trace)
+                                    })) {
+                                        Ok(action) => action,
+                                        Err(payload) => {
+                                            inner.metrics.request_panics_recovered.inc();
+                                            LineAction::reply(error_response(
+                                                None,
+                                                &format!(
+                                                    "internal error: request handling panicked: {}",
+                                                    panic_message(payload.as_ref())
+                                                ),
+                                            ))
+                                        }
+                                    };
+                                Step::Act(action, trace)
                             }
                         }
                     }
                 }
+            };
+            match step {
+                Step::Overflow => {
+                    inner.metrics.requests_unknown.inc();
+                    inner.metrics.request_errors.inc();
+                    let limit = inner.config.max_request_bytes;
+                    if let Some(conn) = self.table.get_mut(slot) {
+                        conn.out.push(
+                            format!("{{\"error\":\"request exceeds {limit} bytes\"}}\n").as_bytes(),
+                        );
+                        // One best-effort flush; the stream cannot be
+                        // resynced, so it closes regardless.
+                        let _ = conn.out.flush_to(&mut conn.stream);
+                    }
+                    self.close_conn(slot);
+                    return true;
+                }
+                Step::Wait { arm_line_timer } => {
+                    if let (Some(started), Some(limit)) =
+                        (arm_line_timer, inner.config.line_timeout)
+                    {
+                        if let Some(generation) = self.table.get_mut(slot).map(|c| c.generation) {
+                            self.timers.insert(TimerEntry {
+                                deadline: started + limit,
+                                token: slot,
+                                generation,
+                                kind: TimerKind::Line,
+                            });
+                        }
+                    }
+                    return false;
+                }
+                Step::BadUtf8 => {
+                    // The blocking reader's read_line met invalid UTF-8 as
+                    // an unrecoverable stream error: close without a
+                    // response.
+                    self.close_conn(slot);
+                    return true;
+                }
+                Step::Skip => continue,
+                Step::Act(action, trace) => {
+                    if self.apply_action(slot, action, trace) {
+                        return true;
+                    }
+                }
             }
         }
-        last_activity = Instant::now();
-        if line.trim().is_empty() {
-            continue;
-        }
-        let mut trace = RequestTrace::start();
-        // Request handling is guarded: a panic in the parse/encode/plan
-        // path (a bug, or an injected fault) becomes one error response on
-        // a live connection instead of a dropped thread.
-        let outcome = match std::panic::catch_unwind(AssertUnwindSafe(|| {
-            handle_line(inner, &line, &mut trace)
-        })) {
-            Ok(outcome) => outcome,
-            Err(payload) => {
-                inner.metrics.request_panics_recovered.inc();
-                LineOutcome::reply(error_response(
-                    None,
-                    &format!(
-                        "internal error: request handling panicked: {}",
-                        panic_message(payload.as_ref())
+    }
+
+    /// Executes one dispatched action. Returns `true` when the connection
+    /// was closed.
+    fn apply_action(&mut self, slot: usize, action: LineAction, trace: RequestTrace) -> bool {
+        match action {
+            LineAction::Respond {
+                response,
+                predict,
+                shutdown,
+            } => {
+                let closed = self.respond(Some(slot), response, trace, predict.as_deref());
+                if shutdown {
+                    // Respond first, then begin the drain; this connection
+                    // closes once its response drains.
+                    self.inner.request_shutdown();
+                    if !closed {
+                        if let Some(conn) = self.table.get_mut(slot) {
+                            conn.close_after_drain = true;
+                        }
+                        return self.close_if_drained(slot);
+                    }
+                }
+                closed
+            }
+            LineAction::Submit {
+                prepared,
+                deadline,
+                id,
+                name,
+            } => {
+                let token = self.next_token;
+                self.next_token += 1;
+                let infer_started = Instant::now();
+                match self.inner.scheduler.submit_async(
+                    prepared,
+                    deadline,
+                    token,
+                    &self.completions,
+                ) {
+                    Ok(()) => {
+                        let Some(conn) = self.table.get_mut(slot) else {
+                            return true;
+                        };
+                        conn.inflight += 1;
+                        self.pending.insert(
+                            token,
+                            PendingPredict {
+                                slot,
+                                generation: conn.generation,
+                                id,
+                                name,
+                                trace,
+                                infer_started,
+                            },
+                        );
+                        false
+                    }
+                    // Rejections (queue full, shutting down) answer inline
+                    // on this connection, exactly like the blocking path.
+                    Err(e) => self.respond(
+                        Some(slot),
+                        error_response(id, &e.to_string()),
+                        trace,
+                        Some(&name),
                     ),
-                ))
+                }
             }
-        };
-        if outcome
-            .response
+        }
+    }
+
+    /// Serialises a response (with the respond-stage fault hook and panic
+    /// guard), queues it on the connection's write buffer and records the
+    /// predict-stage telemetry. `slot: None` answers into the void — the
+    /// client disconnected while its prediction ran; the telemetry is still
+    /// recorded so every predict outcome is observed exactly once.
+    ///
+    /// Returns `true` when the connection was closed.
+    fn respond(
+        &mut self,
+        slot: Option<usize>,
+        response: Value,
+        mut trace: RequestTrace,
+        predict: Option<&str>,
+    ) -> bool {
+        let inner = Arc::clone(&self.inner);
+        if response
             .as_object()
             .is_some_and(|fields| fields.contains_key("error"))
         {
             inner.metrics.request_errors.inc();
         }
-        // The respond stage has its own guard: a panic while serialising or
-        // writing (only reachable via an injected fault today) closes this
-        // connection without killing the thread pool's accounting.
-        let write_result: std::io::Result<()> =
-            match std::panic::catch_unwind(AssertUnwindSafe(|| {
-                trace.time(Stage::Respond, || -> std::io::Result<()> {
-                    if let Some(faults) = &config.faults {
-                        faults.fire(Stage::Respond)?;
-                    }
-                    let mut payload = match serde_json::to_string(&outcome.response) {
-                        Ok(json) => json,
-                        Err(_) => r#"{"error":"internal: response serialisation failed"}"#.into(),
-                    };
-                    payload.push('\n');
-                    writer.write_all(payload.as_bytes())?;
-                    writer.flush()
-                })
-            })) {
-                Ok(result) => result,
-                Err(_) => {
-                    inner.metrics.request_panics_recovered.inc();
-                    Err(std::io::Error::other("respond stage panicked"))
+        // The respond stage keeps its own guard: a panic while firing the
+        // stage hook or serialising (only reachable via an injected fault
+        // today) closes this connection without touching the others.
+        let serialised = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            trace.time(Stage::Respond, || -> std::io::Result<Vec<u8>> {
+                if let Some(faults) = &inner.config.faults {
+                    faults.fire(Stage::Respond)?;
                 }
-            };
-        let write_ok = match &write_result {
-            Ok(()) => true,
-            Err(e) => {
+                let mut payload = match serde_json::to_string(&response) {
+                    Ok(json) => json,
+                    Err(_) => r#"{"error":"internal: response serialisation failed"}"#.into(),
+                };
+                payload.push('\n');
+                Ok(payload.into_bytes())
+            })
+        }));
+        let mut closed = false;
+        match serialised {
+            Ok(Ok(payload)) => {
+                if let Some(slot) = slot {
+                    if let Some(conn) = self.table.get_mut(slot) {
+                        conn.out.push(&payload);
+                        conn.last_activity = Instant::now();
+                        if !conn.paused && conn.out.len() > WRITE_HIGH_WATERMARK {
+                            // Backpressure: stop reading new requests until
+                            // the client drains its responses.
+                            conn.paused = true;
+                            inner.metrics.write_backpressure.inc();
+                        }
+                    }
+                }
+            }
+            Ok(Err(e)) => {
+                // An injected respond-stage I/O error: same accounting as a
+                // failed blocking write of this response.
                 if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
                     inner.metrics.write_timeouts.inc();
                 }
-                false
+                if let Some(slot) = slot {
+                    self.close_conn(slot);
+                    closed = true;
+                }
             }
-        };
-        // Stage histograms and the slow log track predict requests
-        // only, so `request_latency_ns.count` equals
-        // `requests_predict_total` exactly.
-        if let Some(name) = &outcome.predict {
+            Err(_) => {
+                inner.metrics.request_panics_recovered.inc();
+                if let Some(slot) = slot {
+                    self.close_conn(slot);
+                    closed = true;
+                }
+            }
+        }
+        // Stage histograms and the slow log track predict requests only,
+        // so `request_latency_ns.count` equals `requests_predict_total`
+        // exactly — including responses whose write failed or whose client
+        // is already gone, same as the blocking front end.
+        if let Some(name) = predict {
             inner.metrics.stages.observe(&trace);
             if let Some(slow) = &inner.slow_log {
                 if let Some(record) = slow.check("predict", name, &trace) {
@@ -642,86 +1009,353 @@ fn serve_connection(inner: &Arc<Inner>, reader: &mut BufReader<TcpStream>, write
                 }
             }
         }
-        if !write_ok {
-            return;
+        if closed {
+            return true;
         }
-        if outcome.shutdown {
-            // Respond first, then begin the drain; the drain joins
-            // this thread, so only flag the request here.
-            inner.request_shutdown();
-            return;
+        match slot {
+            Some(slot) => self.flush_conn(slot),
+            None => false,
         }
     }
-}
 
-/// One attempt to complete the current request line. Partial bytes already
-/// accumulated in `line` are kept across calls — a read timeout surfaces as
-/// [`LineRead::Tick`] with the buffer intact, which is what lets the caller
-/// enforce wall-clock deadlines on a line without losing data.
-fn read_line_step(
-    reader: &mut BufReader<TcpStream>,
-    line: &mut String,
-    max_request_bytes: u64,
-) -> LineRead {
-    let remaining = max_request_bytes.saturating_sub(line.len() as u64);
-    match std::io::Read::take(reader, remaining).read_line(line) {
-        Ok(_) if line.ends_with('\n') => LineRead::Complete,
-        // EOF (client closed, possibly mid-request) or the size limit hit
-        // without a newline: either way there is no resyncing this stream.
-        Ok(_) => LineRead::Close,
-        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => LineRead::Tick,
-        Err(_) => LineRead::Close,
-    }
-}
-
-/// The result of dispatching one request line.
-struct LineOutcome {
-    response: Value,
-    /// The connection requested a server shutdown.
-    shutdown: bool,
-    /// `Some(request name)` when the line was a predict request — only
-    /// those fold into the stage histograms and the slow log.
-    predict: Option<String>,
-}
-
-impl LineOutcome {
-    fn reply(response: Value) -> Self {
-        LineOutcome {
-            response,
-            shutdown: false,
-            predict: None,
+    /// Drives the write-buffer state machine: flush as much as the socket
+    /// accepts, manage the write deadline (armed on first block, pushed
+    /// forward on progress), lift backpressure below the low watermark and
+    /// retire connections whose drain completed. Returns `true` when the
+    /// connection was closed.
+    fn flush_conn(&mut self, slot: usize) -> bool {
+        enum After {
+            Nothing,
+            Close,
+            Arm { deadline: Instant, generation: u64 },
         }
+        let now = Instant::now();
+        let mut resumed = false;
+        let after = {
+            let Some(conn) = self.table.get_mut(slot) else {
+                return true;
+            };
+            if conn.out.is_empty() {
+                conn.write_deadline = None;
+                if conn.close_after_drain && conn.inflight == 0 {
+                    After::Close
+                } else {
+                    After::Nothing
+                }
+            } else {
+                match conn.out.flush_to(&mut conn.stream) {
+                    Ok(Flush::Drained) => {
+                        conn.write_deadline = None;
+                        conn.last_activity = now;
+                        if conn.paused {
+                            conn.paused = false;
+                            resumed = true;
+                        }
+                        if conn.close_after_drain && conn.inflight == 0 {
+                            After::Close
+                        } else {
+                            After::Nothing
+                        }
+                    }
+                    Ok(Flush::Blocked { progressed }) => {
+                        if conn.paused && conn.out.len() <= WRITE_LOW_WATERMARK {
+                            conn.paused = false;
+                            resumed = true;
+                        }
+                        match self.inner.config.write_timeout {
+                            Some(timeout) => {
+                                let arm = conn.write_deadline.is_none();
+                                if progressed || arm {
+                                    // Progress resets the deadline — only a
+                                    // socket accepting nothing for the full
+                                    // window is cut, like the blocking
+                                    // write timeout.
+                                    conn.write_deadline = Some(now + timeout);
+                                }
+                                if arm {
+                                    After::Arm {
+                                        deadline: now + timeout,
+                                        generation: conn.generation,
+                                    }
+                                } else {
+                                    After::Nothing
+                                }
+                            }
+                            None => After::Nothing,
+                        }
+                    }
+                    Err(_) => After::Close,
+                }
+            }
+        };
+        let closed = match after {
+            After::Nothing => false,
+            After::Close => {
+                self.close_conn(slot);
+                true
+            }
+            After::Arm {
+                deadline,
+                generation,
+            } => {
+                self.timers.insert(TimerEntry {
+                    deadline,
+                    token: slot,
+                    generation,
+                    kind: TimerKind::Write,
+                });
+                false
+            }
+        };
+        if closed {
+            return true;
+        }
+        if resumed {
+            self.resume.push(slot);
+        }
+        self.sync_interest(slot);
+        false
+    }
+
+    /// Closes `slot` now if it is marked close-after-drain and has nothing
+    /// left to deliver. Returns `true` when it closed.
+    fn close_if_drained(&mut self, slot: usize) -> bool {
+        let done = self
+            .table
+            .get_mut(slot)
+            .is_some_and(|c| c.close_after_drain && c.out.is_empty() && c.inflight == 0);
+        if done {
+            self.close_conn(slot);
+        }
+        done
+    }
+
+    fn close_conn(&mut self, slot: usize) {
+        let Some(conn) = self.table.remove(slot) else {
+            return;
+        };
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        // Retire the socket at the TCP level, not just drop the fd: a cut
+        // client sees a prompt FIN/RST instead of a zero-window socket.
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        self.inner.metrics.connections_open.dec();
+        self.inner.metrics.connections_closed.inc();
+    }
+
+    /// Reconciles the poller's interest set with what the connection's
+    /// state implies (readable unless paused/half-closed; writable while
+    /// output is queued).
+    fn sync_interest(&mut self, slot: usize) {
+        let Some(conn) = self.table.get_mut(slot) else {
+            return;
+        };
+        let desired = conn.desired_interest();
+        if desired == conn.interest {
+            return;
+        }
+        let fd = conn.stream.as_raw_fd();
+        if self
+            .poller
+            .reregister(fd, slot + CONN_BASE, desired)
+            .is_ok()
+        {
+            conn.interest = desired;
+        }
+    }
+
+    /// Hands every scheduler completion back to its connection. The wake
+    /// datagrams are drained FIRST: a producer that loses the coalescing
+    /// race has already enqueued its completion, so checking the queue
+    /// after the drain cannot miss it.
+    fn drain_completions(&mut self) {
+        self.wake_rx.drain();
+        for completion in self.completions.drain() {
+            self.inner.metrics.eventloop_completions.inc();
+            let Some(pending) = self.pending.remove(&completion.token) else {
+                continue;
+            };
+            let PendingPredict {
+                slot,
+                generation,
+                id,
+                name,
+                mut trace,
+                infer_started,
+            } = pending;
+            trace.add(Stage::Infer, infer_started.elapsed());
+            let target = match self.table.get_generation(slot, generation) {
+                Some(conn) => {
+                    conn.inflight = conn.inflight.saturating_sub(1);
+                    Some(slot)
+                }
+                // The connection died (or the slot was recycled) while the
+                // prediction ran: the result is dropped, the telemetry
+                // still recorded.
+                None => None,
+            };
+            let response = match completion.result {
+                Ok(probs) => {
+                    let mut response = object_with_id(id);
+                    response.insert("probs".to_string(), probs.serialize());
+                    Value::Object(response)
+                }
+                Err(e) => error_response(id, &e.to_string()),
+            };
+            self.respond(target, response, trace, Some(&name));
+        }
+    }
+
+    fn run_timers(&mut self) {
+        let now = Instant::now();
+        for entry in self.timers.advance(now) {
+            self.handle_timer(entry, now);
+        }
+    }
+
+    /// Acts on one expired timer entry. Timers are lazily cancelled, so
+    /// every entry is validated against the connection's *live* state (the
+    /// generation matched already): stale entries drop, premature ones
+    /// re-arm at the real deadline.
+    fn handle_timer(&mut self, entry: TimerEntry, now: Instant) {
+        enum Act {
+            Drop,
+            Rearm(Instant),
+            ReapIdle,
+            CutLine,
+            CutWrite,
+        }
+        let act = {
+            let Some(conn) = self.table.get_generation(entry.token, entry.generation) else {
+                return;
+            };
+            match entry.kind {
+                TimerKind::Idle => match self.inner.config.idle_timeout {
+                    None => Act::Drop,
+                    Some(idle) => {
+                        // A connection with work in flight is not idle: a
+                        // long prediction, an undrained response or a
+                        // partial line each keep it alive (the line and
+                        // write deadlines police the latter two).
+                        let busy = conn.inflight > 0
+                            || !conn.out.is_empty()
+                            || conn.line_started.is_some();
+                        if busy {
+                            Act::Rearm(now + idle)
+                        } else if now.duration_since(conn.last_activity) >= idle {
+                            Act::ReapIdle
+                        } else {
+                            Act::Rearm(conn.last_activity + idle)
+                        }
+                    }
+                },
+                TimerKind::Line => match (conn.line_started, self.inner.config.line_timeout) {
+                    (Some(started), Some(limit)) => {
+                        if now.duration_since(started) >= limit {
+                            Act::CutLine
+                        } else {
+                            Act::Rearm(started + limit)
+                        }
+                    }
+                    _ => Act::Drop,
+                },
+                TimerKind::Write => match conn.write_deadline {
+                    Some(deadline) if !conn.out.is_empty() => {
+                        if now >= deadline {
+                            Act::CutWrite
+                        } else {
+                            Act::Rearm(deadline)
+                        }
+                    }
+                    _ => Act::Drop,
+                },
+            }
+        };
+        match act {
+            Act::Drop => {}
+            Act::Rearm(deadline) => self.timers.insert(TimerEntry { deadline, ..entry }),
+            Act::ReapIdle => {
+                self.inner.metrics.connections_reaped.inc();
+                self.close_conn(entry.token);
+            }
+            Act::CutLine => {
+                self.inner.metrics.connections_reaped.inc();
+                if let Some(conn) = self.table.get_mut(entry.token) {
+                    conn.out.push(b"{\"error\":\"request line timed out\"}\n");
+                    let _ = conn.out.flush_to(&mut conn.stream);
+                }
+                self.close_conn(entry.token);
+            }
+            Act::CutWrite => {
+                self.inner.metrics.write_timeouts.inc();
+                self.close_conn(entry.token);
+            }
+        }
+    }
+
+    /// One drain iteration. Stops accepting immediately; once the
+    /// scheduler has flushed and every completion is routed, gives clients
+    /// a bounded grace to accept buffered responses, then retires every
+    /// connection. Returns `true` when the loop should exit.
+    fn drain_step(&mut self) -> bool {
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(listener.as_raw_fd());
+        }
+        if !self.inner.scheduler_drained.load(Ordering::SeqCst)
+            || !self.pending.is_empty()
+            || !self.completions.is_empty()
+        {
+            return false;
+        }
+        // Every response is computed and queued; what remains is delivery.
+        let now = Instant::now();
+        let deadline = *self.flush_deadline.get_or_insert(now + DRAIN_GRACE);
+        let mut all_drained = true;
+        for slot in self.table.occupied() {
+            let undrained = self.table.get_mut(slot).is_some_and(|c| !c.out.is_empty());
+            if undrained && !self.flush_conn(slot) {
+                let still = self.table.get_mut(slot).is_some_and(|c| !c.out.is_empty());
+                all_drained &= !still;
+            }
+        }
+        if !all_drained && now < deadline {
+            return false;
+        }
+        for slot in self.table.occupied() {
+            self.close_conn(slot);
+        }
+        true
     }
 }
 
 /// Parses and dispatches one request line, attributing stage timings to
 /// `trace` (JSON parsing and payload extraction → `Parse`; `Encode`/`Plan`
 /// inside [`Inner::resolve`] on cache misses; queueing + model execution →
-/// `Infer`; the caller times `Respond` around the socket write).
-fn handle_line(inner: &Arc<Inner>, line: &str, trace: &mut RequestTrace) -> LineOutcome {
-    // Parse-stage fault hook: panics unwind into the connection loop's
-    // recovery guard (one error response), I/O faults answer directly.
+/// `Infer`, measured by the event loop across the async round trip; the
+/// loop times `Respond` around serialisation).
+fn handle_line(inner: &Arc<Inner>, line: &str, trace: &mut RequestTrace) -> LineAction {
+    // Parse-stage fault hook: panics unwind into the event loop's recovery
+    // guard (one error response), I/O faults answer directly.
     if let Err(e) = inner.fault(Stage::Parse) {
-        return LineOutcome::reply(error_response(None, &e.to_string()));
+        return LineAction::reply(error_response(None, &e.to_string()));
     }
     let parsed: Result<Value, _> = trace.time(Stage::Parse, || serde_json::from_str(line.trim()));
     let request = match parsed {
         Ok(value) => value,
         Err(e) => {
             inner.metrics.requests_unknown.inc();
-            return LineOutcome::reply(error_response(None, &format!("invalid JSON: {e}")));
+            return LineAction::reply(error_response(None, &format!("invalid JSON: {e}")));
         }
     };
     let Some(fields) = request.as_object() else {
         inner.metrics.requests_unknown.inc();
-        return LineOutcome::reply(error_response(None, "request must be a JSON object"));
+        return LineAction::reply(error_response(None, "request must be a JSON object"));
     };
     let id = fields.get("id").cloned();
     let op = match fields.get("op") {
         Some(Value::Str(op)) => op.as_str(),
         Some(_) => {
             inner.metrics.requests_unknown.inc();
-            return LineOutcome::reply(error_response(id, "`op` must be a string"));
+            return LineAction::reply(error_response(id, "`op` must be a string"));
         }
         None => "predict",
     };
@@ -730,7 +1364,7 @@ fn handle_line(inner: &Arc<Inner>, line: &str, trace: &mut RequestTrace) -> Line
             inner.metrics.requests_stats.inc();
             let mut response = object_with_id(id);
             response.insert("stats".to_string(), inner.stats().serialize());
-            LineOutcome::reply(Value::Object(response))
+            LineAction::reply(Value::Object(response))
         }
         "metrics" => {
             inner.metrics.requests_metrics.inc();
@@ -739,7 +1373,7 @@ fn handle_line(inner: &Arc<Inner>, line: &str, trace: &mut RequestTrace) -> Line
                 "metrics".to_string(),
                 snapshot_to_value(&inner.metrics.snapshot()),
             );
-            LineOutcome::reply(Value::Object(response))
+            LineAction::reply(Value::Object(response))
         }
         "metrics_text" => {
             inner.metrics.requests_metrics_text.inc();
@@ -748,16 +1382,16 @@ fn handle_line(inner: &Arc<Inner>, line: &str, trace: &mut RequestTrace) -> Line
                 "metrics_text".to_string(),
                 Value::Str(inner.metrics.snapshot().to_prometheus("deepgate")),
             );
-            LineOutcome::reply(Value::Object(response))
+            LineAction::reply(Value::Object(response))
         }
         "shutdown" => {
             inner.metrics.requests_shutdown.inc();
             let mut response = object_with_id(id);
             response.insert("ok".to_string(), Value::Bool(true));
-            LineOutcome {
+            LineAction::Respond {
                 response: Value::Object(response),
-                shutdown: true,
                 predict: None,
+                shutdown: true,
             }
         }
         "predict" => {
@@ -768,19 +1402,19 @@ fn handle_line(inner: &Arc<Inner>, line: &str, trace: &mut RequestTrace) -> Line
             };
             let predict = Some(name.to_string());
             if inner.draining.load(Ordering::SeqCst) {
-                return LineOutcome {
+                return LineAction::Respond {
                     response: error_response(id, &ServeError::ShuttingDown.to_string()),
-                    shutdown: false,
                     predict,
+                    shutdown: false,
                 };
             }
             let payload = match trace.time(Stage::Parse, || parse_payload(fields, name)) {
                 Ok(payload) => payload,
                 Err(message) => {
-                    return LineOutcome {
+                    return LineAction::Respond {
                         response: error_response(id, &message),
-                        shutdown: false,
                         predict,
+                        shutdown: false,
                     }
                 }
             };
@@ -788,10 +1422,10 @@ fn handle_line(inner: &Arc<Inner>, line: &str, trace: &mut RequestTrace) -> Line
                 match parse_deadline(fields.get("deadline_ms"), inner.config.default_deadline) {
                     Ok(budget) => budget,
                     Err(message) => {
-                        return LineOutcome {
+                        return LineAction::Respond {
                             response: error_response(id, &message),
-                            shutdown: false,
                             predict,
+                            shutdown: false,
                         }
                     }
                 };
@@ -799,29 +1433,23 @@ fn handle_line(inner: &Arc<Inner>, line: &str, trace: &mut RequestTrace) -> Line
             // read — the trace's start — not from here, so time already
             // spent parsing counts against it.
             let deadline = budget.map(|budget| trace.started_at() + budget);
-            let outcome = match inner.resolve(&payload, trace) {
-                Ok(prepared) => trace.time(Stage::Infer, || {
-                    inner.scheduler.predict_with_deadline(prepared, deadline)
-                }),
-                Err(e) => Err(e),
-            };
-            let response = match outcome {
-                Ok(probs) => {
-                    let mut response = object_with_id(id);
-                    response.insert("probs".to_string(), probs.serialize());
-                    Value::Object(response)
-                }
-                Err(e) => error_response(id, &e.to_string()),
-            };
-            LineOutcome {
-                response,
-                shutdown: false,
-                predict,
+            match inner.resolve(&payload, trace) {
+                Ok(prepared) => LineAction::Submit {
+                    prepared,
+                    deadline,
+                    id,
+                    name: name.to_string(),
+                },
+                Err(e) => LineAction::Respond {
+                    response: error_response(id, &e.to_string()),
+                    predict,
+                    shutdown: false,
+                },
             }
         }
         other => {
             inner.metrics.requests_unknown.inc();
-            LineOutcome::reply(error_response(id, &format!("unknown op `{other}`")))
+            LineAction::reply(error_response(id, &format!("unknown op `{other}`")))
         }
     }
 }

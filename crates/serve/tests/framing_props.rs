@@ -1,0 +1,149 @@
+//! Property tests of the event loop's zero-copy line framer: under
+//! arbitrary chunk boundaries (1-byte reads, requests split mid-JSON,
+//! multiple requests per read) it must reassemble the *identical* request
+//! sequence the blocking `BufRead` reader produced — including the exact
+//! byte-limit overflow boundary of the `take(max).read_line` reader it
+//! replaced.
+
+use deepgate_serve::{LineFramer, LineOverflow};
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Cursor, Read};
+
+/// The reference implementation: the blocking reader the framer replaced,
+/// expressed through `BufRead::read_until` over the whole stream. Returns
+/// the complete lines (without newlines) and the unterminated tail.
+fn blocking_reference(stream: &[u8]) -> (Vec<Vec<u8>>, Vec<u8>) {
+    let mut reader = BufReader::new(Cursor::new(stream));
+    let mut complete = Vec::new();
+    loop {
+        let mut line = Vec::new();
+        let n = reader.read_until(b'\n', &mut line).expect("cursor reads");
+        if n == 0 {
+            return (complete, Vec::new());
+        }
+        if line.last() == Some(&b'\n') {
+            line.pop();
+            complete.push(line);
+        } else {
+            return (complete, line);
+        }
+    }
+}
+
+/// The reference byte-limit reader: the blocking front end's
+/// `take(remaining).read_line` step. Returns the lines accepted before the
+/// stream ended or overflowed, and whether it overflowed (a line hit the
+/// limit without its newline).
+fn blocking_reference_limited(stream: &[u8], max: u64) -> (Vec<Vec<u8>>, bool) {
+    let mut reader = BufReader::new(Cursor::new(stream));
+    let mut complete = Vec::new();
+    loop {
+        let mut line = Vec::new();
+        let n = (&mut reader)
+            .take(max)
+            .read_until(b'\n', &mut line)
+            .expect("cursor reads");
+        if n == 0 {
+            return (complete, false); // clean EOF between lines
+        }
+        if line.last() == Some(&b'\n') {
+            line.pop();
+            complete.push(line);
+        } else {
+            // No newline: EOF mid-line, or the byte limit hit. The
+            // blocking server treated `len >= max` as the overflow error
+            // and a shorter partial as a silent close.
+            return (complete, line.len() as u64 >= max);
+        }
+    }
+}
+
+/// Drives the framer over `stream` cut at the chunk boundaries drawn from
+/// `cuts` (cycled; 1-byte reads when empty). Returns the lines sliced out,
+/// the leftover pending bytes, and whether the limit tripped.
+fn drive_framer(stream: &[u8], cuts: &[usize], max: u64) -> (Vec<Vec<u8>>, usize, bool) {
+    let mut framer = LineFramer::new(max);
+    let mut got = Vec::new();
+    let mut pos = 0;
+    let mut cut = cuts.iter().copied().cycle();
+    while pos < stream.len() {
+        let n = cut.next().unwrap_or(1).min(stream.len() - pos);
+        framer.push(&stream[pos..pos + n]);
+        pos += n;
+        loop {
+            match framer.next_line() {
+                Ok(Some(line)) => got.push(line.to_vec()),
+                Ok(None) => break,
+                Err(LineOverflow) => return (got, framer.pending(), true),
+            }
+        }
+        framer.compact();
+    }
+    (got, framer.pending(), false)
+}
+
+/// Joins payload lines (newline-stripped) into one wire stream, with an
+/// optional unterminated tail.
+fn wire_stream(lines: &[Vec<u8>], tail: &[u8]) -> Vec<u8> {
+    let mut stream = Vec::new();
+    for line in lines {
+        stream.extend_from_slice(line);
+        stream.push(b'\n');
+    }
+    stream.extend_from_slice(tail);
+    stream
+}
+
+fn strip_newlines(bytes: Vec<u8>) -> Vec<u8> {
+    bytes
+        .into_iter()
+        .map(|b| if b == b'\n' { b' ' } else { b })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Unlimited framer ≡ blocking reader: same lines, same leftover tail,
+    /// no matter how the bytes are chunked.
+    #[test]
+    fn framer_reassembles_identically_to_the_blocking_reader(
+        lines in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..48), 0..16),
+        tail in prop::collection::vec(any::<u8>(), 0..24),
+        cuts in prop::collection::vec(1usize..9, 0..64),
+    ) {
+        let lines: Vec<Vec<u8>> = lines.into_iter().map(strip_newlines).collect();
+        let tail = strip_newlines(tail);
+        let stream = wire_stream(&lines, &tail);
+
+        let (expected, expected_tail) = blocking_reference(&stream);
+        let (got, pending, overflowed) = drive_framer(&stream, &cuts, 0);
+
+        prop_assert!(!overflowed, "no limit was set");
+        prop_assert_eq!(&got, &expected);
+        // The reference agrees with the construction itself.
+        prop_assert_eq!(&got, &lines);
+        prop_assert_eq!(pending, expected_tail.len());
+    }
+
+    /// Limited framer ≡ the blocking `take(max).read_line` reader: the
+    /// accepted lines AND the overflow boundary match exactly, no matter
+    /// how the bytes are chunked.
+    #[test]
+    fn framer_byte_limit_matches_the_blocking_reader_exactly(
+        lines in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..20), 0..12),
+        tail in prop::collection::vec(any::<u8>(), 0..20),
+        cuts in prop::collection::vec(1usize..9, 0..64),
+        max in 1u64..24,
+    ) {
+        let lines: Vec<Vec<u8>> = lines.into_iter().map(strip_newlines).collect();
+        let tail = strip_newlines(tail);
+        let stream = wire_stream(&lines, &tail);
+
+        let (expected, expected_overflow) = blocking_reference_limited(&stream, max);
+        let (got, _, overflowed) = drive_framer(&stream, &cuts, max);
+
+        prop_assert_eq!(&got, &expected);
+        prop_assert_eq!(overflowed, expected_overflow);
+    }
+}

@@ -506,6 +506,70 @@ fn a_client_that_stops_reading_is_cut_by_the_write_timeout() {
 }
 
 #[test]
+fn a_one_byte_at_a_time_reader_drains_without_tripping_the_write_deadline() {
+    // The opposite of the deaf client: a reader that accepts its responses
+    // one byte at a time. It drives the write-buffer state machine through
+    // many partial flushes, but every flush makes *progress*, so the write
+    // deadline keeps resetting and the connection must survive until the
+    // full backlog drains — slow is not dead.
+    let server = start_server(ServeConfig {
+        write_timeout: Some(Duration::from_millis(500)),
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let stream = TcpStream::connect(server.local_addr()).expect("connects");
+    let mut writer = stream.try_clone().expect("clone");
+    // Enough pipelined multi-KB responses to overrun socket buffering, so
+    // the server actually holds a blocked write buffer while we trickle.
+    const REQUESTS: usize = 2_000;
+    let flood: String = "{\"op\": \"metrics_text\"}\n".repeat(REQUESTS);
+    writer
+        .write_all(flood.as_bytes())
+        .expect("requests written");
+    writer.flush().expect("requests flushed");
+
+    let mut reader = stream.try_clone().expect("clone");
+    reader
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("client read timeout");
+    // The first response arrives strictly byte-by-byte — maximal partial
+    // progress — then the rest drains in small chunks, counting response
+    // lines as they complete.
+    let mut lines = 0usize;
+    let mut byte = [0u8; 1];
+    loop {
+        match std::io::Read::read(&mut reader, &mut byte) {
+            Ok(0) => panic!("server cut a reader that was making progress"),
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    lines += 1;
+                    break;
+                }
+            }
+            Err(e) => panic!("byte-wise read failed: {e}"),
+        }
+    }
+    let mut chunk = [0u8; 4096];
+    while lines < REQUESTS {
+        match std::io::Read::read(&mut reader, &mut chunk) {
+            Ok(0) => panic!("connection cut after {lines}/{REQUESTS} responses"),
+            Ok(n) => lines += chunk[..n].iter().filter(|&&b| b == b'\n').count(),
+            Err(e) => panic!("read failed after {lines}/{REQUESTS} responses: {e}"),
+        }
+    }
+    assert_eq!(lines, REQUESTS, "exactly one response line per request");
+    drop(reader);
+    drop(writer);
+
+    let stats = server.stats();
+    assert_eq!(
+        stats.write_timeouts, 0,
+        "a progressing reader must never count as a write timeout"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn connection_cap_refuses_the_overflow_client() {
     let server = start_server(ServeConfig {
         max_connections: 2,
