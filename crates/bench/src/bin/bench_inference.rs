@@ -1,5 +1,7 @@
 //! Serving-throughput benchmark: `InferenceSession::predict_batch` versus
-//! per-circuit sequential `predict` over a fleet of generated circuits.
+//! per-circuit sequential `predict` over a fleet of generated circuits,
+//! plus the CSR kernel sweep — legacy tensor path vs the CSR level-packed
+//! kernel (f32 and int8) on a single core.
 //!
 //! Writes a `BENCH_inference.json` baseline into the current directory so
 //! future PRs can track the serving hot path. Accepts `--full` /
@@ -8,12 +10,32 @@
 //! ```bash
 //! cargo run --release --bin bench_inference
 //! ```
+//!
+//! With `--check`, no baseline is written; instead the fresh sweep is
+//! compared against the committed `BENCH_inference.json` and the process
+//! exits non-zero if the CSR kernel regressed — batch time more than 15%
+//! over the committed value, speedup-vs-legacy below the committed floor,
+//! or a broken exactness invariant. This is CI's "Kernel perf gate".
 
 use deepgate::aig::aiger::{random_aig, write_aig};
+use deepgate::gnn::CircuitGraph;
 use deepgate::prelude::*;
+use deepgate::QuantMode;
 use deepgate_bench::Scale;
-use serde::Serialize;
+use serde::{Serialize, Value};
 use std::time::Instant;
+
+/// Fresh CSR batch time may exceed the committed one by at most this factor
+/// before `--check` fails.
+const CHECK_TOLERANCE: f64 = 1.15;
+
+/// The speedup floor recorded into fresh baselines: the CSR f32 kernel must
+/// beat the legacy tensor path by at least this factor, single-core.
+const CSR_SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Probability gaps below this may reorder under int8 scoring; larger gaps
+/// must keep their order (mirrors `crates/gnn/tests/csr_parity.rs`).
+const RANK_MARGIN: f32 = 0.05;
 
 /// The JSON baseline written for future PRs to compare against.
 #[derive(Debug, Serialize)]
@@ -35,6 +57,67 @@ struct InferenceBaseline {
     aiger_batch_ms: f64,
     speedup_aiger_batch: f64,
     worker_threads: usize,
+    /// Circuits in the CSR kernel sweep (the main fleet, single-core).
+    csr_num_circuits: usize,
+    csr_total_nodes: usize,
+    /// Legacy tensor path: per-call tensor rebuilds, the pre-CSR kernel.
+    legacy_kernel_ms: f64,
+    /// CSR level-packed kernel, f32 scoring.
+    csr_kernel_ms: f64,
+    /// CSR level-packed kernel, int8 scoring.
+    quantized_kernel_ms: f64,
+    /// `legacy_kernel_ms / csr_kernel_ms`.
+    csr_speedup: f64,
+    /// The floor `--check` holds future runs to.
+    csr_speedup_floor: f64,
+    /// CSR f32 output is bit-identical to the legacy path on every node.
+    csr_exact_match: bool,
+    /// Largest per-node |int8 − f32| probability difference.
+    quantized_max_abs_drift: f64,
+    /// int8 kept the order of every gate-probability pair the f32 model
+    /// separates by more than [`RANK_MARGIN`].
+    quantized_rank_order_preserved: bool,
+}
+
+/// `true` iff for every pair of gate nodes whose exact probabilities differ
+/// by more than [`RANK_MARGIN`], the quantized probabilities keep the same
+/// order. O(n log n): sweep in exact-probability order, holding the largest
+/// quantized value among nodes more than the margin below the cursor.
+fn rank_order_preserved(circuit: &CircuitGraph, exact: &[f32], quantized: &[f32]) -> bool {
+    let mut gates: Vec<(f32, f32)> = circuit
+        .forward_batches
+        .iter()
+        .flat_map(|b| b.targets.iter().map(|&t| (exact[t], quantized[t])))
+        .collect();
+    gates.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite probabilities"));
+    let mut behind = 0;
+    let mut behind_max = f32::NEG_INFINITY;
+    for i in 0..gates.len() {
+        while gates[behind].0 < gates[i].0 - RANK_MARGIN {
+            behind_max = behind_max.max(gates[behind].1);
+            behind += 1;
+        }
+        if gates[i].1 <= behind_max {
+            return false;
+        }
+    }
+    true
+}
+
+/// Reads a numeric field out of the committed baseline object.
+fn committed_number(baseline: &Value, name: &str) -> Result<f64, DeepGateError> {
+    let field = baseline
+        .as_object()
+        .and_then(|o| o.get(name))
+        .ok_or_else(|| DeepGateError::Config(format!("committed baseline lacks `{name}`")))?;
+    match field {
+        Value::Float(v) => Ok(*v),
+        Value::UInt(v) => Ok(*v as f64),
+        Value::Int(v) => Ok(*v as f64),
+        other => Err(DeepGateError::Config(format!(
+            "committed `{name}` is not a number: {other:?}"
+        ))),
+    }
 }
 
 fn median(samples: &mut [f64]) -> f64 {
@@ -43,6 +126,7 @@ fn median(samples: &mut [f64]) -> f64 {
 }
 
 fn main() -> Result<(), DeepGateError> {
+    let check = std::env::args().any(|a| a == "--check");
     let scale = Scale::from_env_and_args();
     let (num_circuits, rounds) = match scale {
         Scale::Quick => (32usize, 8usize),
@@ -161,6 +245,72 @@ fn main() -> Result<(), DeepGateError> {
     let aiger_sequential_ms = median(&mut aiger_sequential_samples);
     let aiger_batch_ms = median(&mut aiger_batch_samples);
 
+    // --- CSR kernel sweep: the before/after of the level-packed kernel.
+    // Legacy tensor path vs CSR f32 vs CSR int8 over the main fleet, all
+    // single-core and kernel-only: plans built and weights baked up front,
+    // so the timings isolate the per-predict aggregation work.
+    let dag = session.model().model();
+    let store = session.model().store();
+    let iterations = session.model().config().num_iterations;
+    let reference_plans: Vec<_> = circuits.iter().map(|c| dag.reference_plan(c)).collect();
+    let csr_plans: Vec<_> = circuits.iter().map(|c| dag.plan(c)).collect();
+    let f32_kernel = dag.compile(store, QuantMode::F32);
+    let int8_kernel = dag.compile(store, QuantMode::Int8);
+
+    // One warm pass per path, keeping the outputs for the exactness gate.
+    let mut legacy_probs: Vec<Vec<f32>> = Vec::with_capacity(circuits.len());
+    let mut csr_probs: Vec<Vec<f32>> = Vec::with_capacity(circuits.len());
+    let mut int8_probs: Vec<Vec<f32>> = Vec::with_capacity(circuits.len());
+    let mut buf = Vec::new();
+    for ((circuit, reference_plan), csr_plan) in
+        circuits.iter().zip(&reference_plans).zip(&csr_plans)
+    {
+        dag.predict_reference_into(store, circuit, reference_plan, iterations, &mut buf)?;
+        legacy_probs.push(buf.clone());
+        f32_kernel.predict_into(csr_plan, iterations, &mut buf, None)?;
+        csr_probs.push(buf.clone());
+        int8_kernel.predict_into(csr_plan, iterations, &mut buf, None)?;
+        int8_probs.push(buf.clone());
+    }
+    let csr_exact_match = legacy_probs.iter().zip(&csr_probs).all(|(a, b)| {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+    });
+    let quantized_max_abs_drift = csr_probs
+        .iter()
+        .zip(&int8_probs)
+        .flat_map(|(a, b)| a.iter().zip(b).map(|(x, y)| (x - y).abs() as f64))
+        .fold(0.0f64, f64::max);
+    let quantized_rank_order_preserved = circuits
+        .iter()
+        .zip(csr_probs.iter().zip(&int8_probs))
+        .all(|(circuit, (exact, quantized))| rank_order_preserved(circuit, exact, quantized));
+
+    let mut legacy_samples = Vec::with_capacity(rounds);
+    let mut csr_samples = Vec::with_capacity(rounds);
+    let mut int8_samples = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for (circuit, plan) in circuits.iter().zip(&reference_plans) {
+            dag.predict_reference_into(store, circuit, plan, iterations, &mut buf)?;
+        }
+        legacy_samples.push(start.elapsed().as_secs_f64() * 1e3);
+
+        let start = Instant::now();
+        for plan in &csr_plans {
+            f32_kernel.predict_into(plan, iterations, &mut buf, None)?;
+        }
+        csr_samples.push(start.elapsed().as_secs_f64() * 1e3);
+
+        let start = Instant::now();
+        for plan in &csr_plans {
+            int8_kernel.predict_into(plan, iterations, &mut buf, None)?;
+        }
+        int8_samples.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let legacy_kernel_ms = median(&mut legacy_samples);
+    let csr_kernel_ms = median(&mut csr_samples);
+    let quantized_kernel_ms = median(&mut int8_samples);
+
     let baseline = InferenceBaseline {
         scale: scale.label().to_string(),
         num_circuits: circuits.len(),
@@ -179,23 +329,93 @@ fn main() -> Result<(), DeepGateError> {
         worker_threads: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+        csr_num_circuits: circuits.len(),
+        csr_total_nodes: total_nodes,
+        legacy_kernel_ms,
+        csr_kernel_ms,
+        quantized_kernel_ms,
+        csr_speedup: legacy_kernel_ms / csr_kernel_ms,
+        csr_speedup_floor: CSR_SPEEDUP_FLOOR,
+        csr_exact_match,
+        quantized_max_abs_drift,
+        quantized_rank_order_preserved,
     };
     println!(
         "sequential predict : {sequential_ms:>9.1} ms/round\n\
          predict_batch      : {batch_ms:>9.1} ms/round ({:.2}x)\n\
          + prepared buffers : {batch_prepared_ms:>9.1} ms/round ({:.2}x)\n\
          aiger sequential   : {aiger_sequential_ms:>9.1} ms/round\n\
-         aiger batch        : {aiger_batch_ms:>9.1} ms/round ({:.2}x)",
-        baseline.speedup_batch, baseline.speedup_prepared, baseline.speedup_aiger_batch
+         aiger batch        : {aiger_batch_ms:>9.1} ms/round ({:.2}x)\n\
+         legacy kernel      : {legacy_kernel_ms:>9.1} ms/round\n\
+         csr kernel (f32)   : {csr_kernel_ms:>9.1} ms/round ({:.2}x, exact={})\n\
+         csr kernel (int8)  : {quantized_kernel_ms:>9.1} ms/round (drift {:.4}, ranks={})",
+        baseline.speedup_batch,
+        baseline.speedup_prepared,
+        baseline.speedup_aiger_batch,
+        baseline.csr_speedup,
+        baseline.csr_exact_match,
+        baseline.quantized_max_abs_drift,
+        baseline.quantized_rank_order_preserved,
     );
 
+    let path = "BENCH_inference.json";
+    if check {
+        return check_against_committed(path, &baseline);
+    }
     let json = serde_json::to_string_pretty(&baseline)
         .map_err(|e| DeepGateError::Config(e.to_string()))?;
-    let path = "BENCH_inference.json";
     std::fs::write(path, json).map_err(|e| DeepGateError::Io {
         path: path.to_string(),
         message: e.to_string(),
     })?;
     eprintln!("[bench_inference] baseline written to {path}");
     Ok(())
+}
+
+/// The `--check` verdict: compares the fresh sweep against the committed
+/// baseline and exits non-zero on a regression, without writing anything.
+fn check_against_committed(path: &str, fresh: &InferenceBaseline) -> Result<(), DeepGateError> {
+    let text = std::fs::read_to_string(path).map_err(|e| DeepGateError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })?;
+    let committed: Value =
+        serde_json::from_str(&text).map_err(|e| DeepGateError::Config(e.to_string()))?;
+    let committed_csr_ms = committed_number(&committed, "csr_kernel_ms")?;
+    let committed_floor = committed_number(&committed, "csr_speedup_floor")?;
+
+    let mut failures = Vec::new();
+    if fresh.csr_kernel_ms > committed_csr_ms * CHECK_TOLERANCE {
+        failures.push(format!(
+            "CSR batch time regressed: fresh {:.1} ms vs committed {:.1} ms (>{:.0}% over)",
+            fresh.csr_kernel_ms,
+            committed_csr_ms,
+            (CHECK_TOLERANCE - 1.0) * 100.0
+        ));
+    }
+    if fresh.csr_speedup < committed_floor {
+        failures.push(format!(
+            "CSR speedup {:.2}x fell below the committed floor {:.2}x",
+            fresh.csr_speedup, committed_floor
+        ));
+    }
+    if !fresh.csr_exact_match {
+        failures.push("CSR f32 output is no longer bit-exact with the legacy path".to_string());
+    }
+    if !fresh.quantized_rank_order_preserved {
+        failures.push("int8 scoring no longer preserves gate-probability rank order".to_string());
+    }
+
+    if failures.is_empty() {
+        eprintln!(
+            "[bench_inference] perf gate OK: {:.1} ms (committed {:.1} ms), speedup {:.2}x (floor {:.2}x)",
+            fresh.csr_kernel_ms, committed_csr_ms, fresh.csr_speedup, committed_floor
+        );
+        Ok(())
+    } else {
+        for failure in &failures {
+            eprintln!("[bench_inference] perf gate FAILED: {failure}");
+        }
+        std::process::exit(1)
+    }
 }

@@ -2,8 +2,8 @@
 //! checkpointing.
 
 use deepgate_gnn::{
-    evaluate_prediction_error, AggregatorKind, CircuitGraph, DagRecConfig, DagRecGnn, GnnError,
-    InferencePlan, ProbabilityModel,
+    evaluate_prediction_error, AggregatorKind, CircuitGraph, CompiledKernel, DagRecConfig,
+    DagRecGnn, GnnError, InferencePlan, ProbabilityModel, QuantMode,
 };
 use deepgate_nn::{Graph, NnError, ParamStore, Tensor, Var};
 use serde::{Deserialize, Serialize};
@@ -151,6 +151,13 @@ impl DeepGate {
     /// [`InferencePlan`]).
     pub fn plan(&self, circuit: &CircuitGraph) -> InferencePlan {
         self.model.plan(circuit)
+    }
+
+    /// Bakes the current weights into a [`CompiledKernel`] for the given
+    /// scoring mode. The kernel snapshots the weights, so recompile after
+    /// training updates the store.
+    pub fn compile(&self, mode: QuantMode) -> CompiledKernel {
+        self.model.compile(&self.store, mode)
     }
 
     /// Plan-based prediction into a caller-owned buffer — the allocation

@@ -55,8 +55,10 @@ impl fmt::Display for AggregatorKind {
     }
 }
 
+/// The per-kind parameter bundles, exposed crate-internally so the CSR
+/// kernel compiler (`crate::csr`) can bake the weights into flat arrays.
 #[derive(Debug, Clone)]
-enum AggregatorParams {
+pub(crate) enum AggregatorParams {
     ConvSum {
         project: Linear,
     },
@@ -163,6 +165,11 @@ impl Aggregator {
     /// The aggregator kind.
     pub fn kind(&self) -> AggregatorKind {
         self.kind
+    }
+
+    /// The parameter bundle (crate-internal; used by the kernel compiler).
+    pub(crate) fn params(&self) -> &AggregatorParams {
+        &self.params
     }
 
     /// Hidden-state dimensionality.

@@ -1,0 +1,1553 @@
+//! The CSR level-packed inference kernel.
+//!
+//! The tape-free prediction path used to walk the pointer-shaped
+//! [`CircuitGraph`] directly: every level batch gathered scattered node rows
+//! into fresh tensors, ran the aggregator and GRU on them, and scattered the
+//! results back — one allocation per step, one cache miss per row. Following
+//! the DLGN line (flat, cache-dense gate arrays), this module compiles a
+//! circuit once into an arena layout and a model once into flat weight
+//! arrays, then fuses each level's gather + GEMM + combine into a single
+//! dense slice walk:
+//!
+//! * [`InferencePlan`] permutes the nodes into **level-contiguous order**
+//!   (reverse-propagation targets first within each level, so both the
+//!   forward and the reverse GRU update become dense in-place sub-slice
+//!   writes) and stores each level's fan-in adjacency as **CSR**: one
+//!   `offsets` array and one flat `edge_src` array per level, skip edges
+//!   appended to their target's row with the positional-encoding attribute
+//!   rows precomputed.
+//! * [`CompiledKernel`] copies the model's weights out of the parameter
+//!   store into row-major flat arrays ([`QuantMode::F32`]) or additionally
+//!   into per-tensor symmetric int8 with f32 accumulation
+//!   ([`QuantMode::Int8`]), and runs the whole recurrence over the packed
+//!   arrays without touching the store or allocating per level.
+//!
+//! **Exactness contract:** in `F32` mode the kernel reproduces the legacy
+//! tensor path ([`crate::DagRecGnn::predict_reference_into`]) *bit-exactly* —
+//! every accumulation runs in the same order over the same values. The
+//! property suite `tests/csr_parity.rs` asserts this across random circuits
+//! and model shapes; `Int8` mode is gated on rank-order preservation of the
+//! gate probabilities plus bounded max-abs drift.
+
+use crate::aggregator::AggregatorParams;
+use crate::{Aggregator, CircuitGraph, GnnError, GnnMetrics};
+use deepgate_aig::recon::positional_encoding;
+use deepgate_nn::{Activation, GruCell, Linear, Mlp, ParamStore, Tensor};
+use std::fmt;
+use std::str::FromStr;
+use std::time::Instant;
+
+/// Numeric mode of a [`CompiledKernel`]'s scoring pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QuantMode {
+    /// Full-precision f32 kernel; bit-exact with the legacy tensor path.
+    #[default]
+    F32,
+    /// Per-tensor symmetric int8 weights with per-row activation scales and
+    /// i32 accumulation (dequantised to f32 between layers). Smaller and
+    /// cache-friendlier weights at a bounded, rank-preserving drift in the
+    /// output probabilities.
+    Int8,
+}
+
+impl QuantMode {
+    /// Stable lowercase label (used in cache keys, flags and logs).
+    pub fn label(self) -> &'static str {
+        match self {
+            QuantMode::F32 => "f32",
+            QuantMode::Int8 => "int8",
+        }
+    }
+}
+
+impl fmt::Display for QuantMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for QuantMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "f32" | "off" | "none" | "exact" => Ok(QuantMode::F32),
+            "int8" | "i8" | "q8" => Ok(QuantMode::Int8),
+            other => Err(format!(
+                "unknown quantization mode `{other}` (expected `f32` or `int8`)"
+            )),
+        }
+    }
+}
+
+/// One level's packed state: a contiguous target range and its fan-in
+/// adjacency in CSR form.
+#[derive(Debug, Clone)]
+struct CsrLevel {
+    /// First packed node index updated by this level.
+    start: usize,
+    /// One past the last packed node index updated by this level.
+    end: usize,
+    /// CSR row offsets into `edge_src` / `attr`; `offsets[i]..offsets[i+1]`
+    /// are the edges of packed target `start + i`, ordinary fan-ins first
+    /// (in circuit order) with the skip edge, if any, appended last — the
+    /// same per-target order the legacy scatter walks.
+    offsets: Vec<u32>,
+    /// Packed source node index of every edge.
+    edge_src: Vec<u32>,
+    /// Flat `[num_edges, attr_dim]` edge attributes (positional encodings on
+    /// skip edges, zeros elsewhere); empty when the plan has no attributes.
+    attr: Vec<f32>,
+}
+
+/// A circuit compiled into the CSR arena layout consumed by
+/// [`CompiledKernel::predict_into`].
+///
+/// Nodes are permuted into level-contiguous order so every level's update is
+/// one dense sub-slice of the hidden-state arena; the permutation is undone
+/// when results are written out, so callers see original node order.
+#[derive(Debug, Clone)]
+pub struct InferencePlan {
+    num_nodes: usize,
+    feature_dim: usize,
+    attr_dim: usize,
+    /// Original node index → packed index.
+    perm: Vec<u32>,
+    /// `[num_nodes, feature_dim]` one-hot features in packed order.
+    features: Vec<f32>,
+    /// Forward levels in ascending level order; each target range spans its
+    /// whole level.
+    forward: Vec<CsrLevel>,
+    /// Reverse levels in descending level order; each target range is the
+    /// fan-out-bearing prefix of its level.
+    reverse: Vec<CsrLevel>,
+}
+
+impl InferencePlan {
+    /// Compiles a circuit into the packed layout. `attr_dim` and
+    /// `frequencies` come from the model configuration (0 attributes when
+    /// skip connections are disabled).
+    pub(crate) fn compile(circuit: &CircuitGraph, attr_dim: usize, frequencies: usize) -> Self {
+        let n = circuit.num_nodes;
+        assert!(n < u32::MAX as usize, "circuit too large for CSR plan");
+        let f = circuit.encoding.dimension();
+
+        // Reverse-propagation targets go first within their level so both
+        // propagation directions update contiguous packed ranges.
+        let mut is_rev = vec![false; n];
+        for batch in &circuit.reverse_batches {
+            for &t in &batch.targets {
+                is_rev[t] = true;
+            }
+        }
+        let mut by_level: Vec<Vec<u32>> = vec![Vec::new(); circuit.max_level + 1];
+        for (id, &level) in circuit.levels.iter().enumerate() {
+            by_level[level].push(id as u32);
+        }
+        let mut level_start = Vec::with_capacity(by_level.len() + 1);
+        let mut inv: Vec<u32> = Vec::with_capacity(n);
+        for nodes in &by_level {
+            level_start.push(inv.len());
+            inv.extend(nodes.iter().filter(|&&id| is_rev[id as usize]));
+            inv.extend(nodes.iter().filter(|&&id| !is_rev[id as usize]));
+        }
+        level_start.push(n);
+        let mut perm = vec![0u32; n];
+        for (packed, &old) in inv.iter().enumerate() {
+            perm[old as usize] = packed as u32;
+        }
+
+        let mut features = vec![0.0f32; n * f];
+        for (packed, &old) in inv.iter().enumerate() {
+            features[packed * f..(packed + 1) * f]
+                .copy_from_slice(circuit.features.row(old as usize));
+        }
+
+        // Scratch reused across batches: target node → its segment index in
+        // the current batch (stale entries are never read because each
+        // batch's targets are rewritten before use).
+        let mut seg_of = vec![u32::MAX; n];
+        let mut per_seg: Vec<Vec<u32>> = Vec::new();
+
+        let mut forward = Vec::with_capacity(circuit.forward_batches.len());
+        for batch in &circuit.forward_batches {
+            let start = level_start[batch.level];
+            let end = level_start[batch.level + 1];
+            assert_eq!(
+                end - start,
+                batch.targets.len(),
+                "forward batch must cover every node of its level"
+            );
+            for (seg, &t) in batch.targets.iter().enumerate() {
+                seg_of[t] = seg as u32;
+            }
+            per_seg.clear();
+            per_seg.resize(batch.targets.len(), Vec::new());
+            for (&src, &seg) in batch.edge_src.iter().zip(&batch.edge_seg) {
+                per_seg[seg].push(perm[src]);
+            }
+            let mut offsets = Vec::with_capacity(end - start + 1);
+            offsets.push(0u32);
+            let mut edge_src = Vec::new();
+            let mut attr = Vec::new();
+            for &orig in &inv[start..end] {
+                let old = orig as usize;
+                let seg = seg_of[old] as usize;
+                edge_src.extend_from_slice(&per_seg[seg]);
+                if attr_dim > 0 {
+                    for _ in 0..per_seg[seg].len() {
+                        attr.extend(std::iter::repeat_n(0.0, attr_dim));
+                    }
+                    if let Some(skip) = circuit.skip_edge_for(old) {
+                        edge_src.push(perm[skip.source]);
+                        attr.extend(positional_encoding(skip.level_difference, frequencies));
+                    }
+                }
+                offsets.push(edge_src.len() as u32);
+            }
+            forward.push(CsrLevel {
+                start,
+                end,
+                offsets,
+                edge_src,
+                attr,
+            });
+        }
+
+        let mut reverse = Vec::with_capacity(circuit.reverse_batches.len());
+        for batch in &circuit.reverse_batches {
+            let start = level_start[batch.level];
+            // Reverse targets are the packed prefix of their level, in batch
+            // order — guaranteed by the rev-first packing above.
+            for (i, &t) in batch.targets.iter().enumerate() {
+                assert_eq!(
+                    perm[t] as usize,
+                    start + i,
+                    "reverse batch must be the packed prefix of its level"
+                );
+            }
+            per_seg.clear();
+            per_seg.resize(batch.targets.len(), Vec::new());
+            for (&src, &seg) in batch.edge_src.iter().zip(&batch.edge_seg) {
+                per_seg[seg].push(perm[src]);
+            }
+            let mut offsets = Vec::with_capacity(batch.targets.len() + 1);
+            offsets.push(0u32);
+            let mut edge_src = Vec::new();
+            for seg_edges in &per_seg {
+                edge_src.extend_from_slice(seg_edges);
+                offsets.push(edge_src.len() as u32);
+            }
+            reverse.push(CsrLevel {
+                start,
+                end: start + batch.targets.len(),
+                offsets,
+                edge_src,
+                attr: Vec::new(),
+            });
+        }
+
+        InferencePlan {
+            num_nodes: n,
+            feature_dim: f,
+            attr_dim,
+            perm,
+            features,
+            forward,
+            reverse,
+        }
+    }
+
+    /// Number of forward level batches the plan covers.
+    pub fn num_batches(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Number of reverse level batches the plan covers.
+    pub fn num_reverse_batches(&self) -> usize {
+        self.reverse.len()
+    }
+
+    /// Number of circuit nodes the plan was built for.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Edge-attribute dimensionality the plan was built with.
+    pub fn attr_dim(&self) -> usize {
+        self.attr_dim
+    }
+
+    /// Whether this plan matches a circuit and a model's attribute width —
+    /// the reuse guard of the serving layer.
+    pub fn matches(&self, circuit: &CircuitGraph, attr_dim: usize) -> bool {
+        self.num_nodes == circuit.num_nodes
+            && self.feature_dim == circuit.encoding.dimension()
+            && self.forward.len() == circuit.forward_batches.len()
+            && self.reverse.len() == circuit.reverse_batches.len()
+            && self.attr_dim == attr_dim
+    }
+}
+
+/// Widest output dimension accumulated in a stack buffer. Accumulating into
+/// a local array instead of the output slice keeps the partial sums out of
+/// the `out`/weights alias analysis, which is worth >2x on the matvec loop;
+/// wider layers fall back to heap scratch.
+const ACC_WIDTH: usize = 128;
+
+/// Reusable int8-mode row buffers: quantised activations (stored as exact
+/// integer-valued f32, so the accumulation loop vectorises like the f32
+/// path) and a heap accumulator for layers wider than [`ACC_WIDTH`].
+#[derive(Debug, Default)]
+struct QBuf {
+    qf: Vec<f32>,
+    acc: Vec<f32>,
+}
+
+/// A dense affine layer baked into flat row-major arrays, optionally with a
+/// per-tensor symmetric int8 shadow copy.
+#[derive(Debug, Clone)]
+struct LinW {
+    /// Row-major `[in_dim, out_dim]` weights.
+    w: Vec<f32>,
+    /// `[out_dim]` bias, empty for bias-free layers.
+    b: Vec<f32>,
+    in_dim: usize,
+    out_dim: usize,
+    /// Int8 weights + their per-tensor scale, present in `Int8` mode.
+    q: Option<QuantW>,
+}
+
+#[derive(Debug, Clone)]
+struct QuantW {
+    /// Symmetric int8 weights (every value passes through an `i8` cast),
+    /// widened to f32 once at compile time: products and sums of these
+    /// integers (≤ 127·127 each) are exactly representable, so f32
+    /// accumulation over them is exact integer arithmetic — and vectorises
+    /// as wide as the f32 path.
+    wf: Vec<f32>,
+    scale: f32,
+}
+
+impl LinW {
+    fn from_linear(store: &ParamStore, layer: &Linear, mode: QuantMode) -> Self {
+        let wt: &Tensor = layer.weight_tensor(store);
+        let w = wt.as_slice().to_vec();
+        let b = layer
+            .bias_tensor(store)
+            .map(|t| t.as_slice().to_vec())
+            .unwrap_or_default();
+        let q = (mode == QuantMode::Int8).then(|| {
+            let maxabs = w.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let scale = if maxabs == 0.0 { 0.0 } else { maxabs / 127.0 };
+            let wf = w
+                .iter()
+                .map(|&v| {
+                    if scale == 0.0 {
+                        0
+                    } else {
+                        (v / scale).round().clamp(-127.0, 127.0) as i8
+                    }
+                })
+                .map(|q| q as f32)
+                .collect();
+            QuantW { wf, scale }
+        });
+        LinW {
+            w,
+            b,
+            in_dim: layer.in_features(),
+            out_dim: layer.out_features(),
+            q,
+        }
+    }
+
+    /// `out = row @ W (+ b)`. The f32 path accumulates over `k` in ascending
+    /// order with the zero-skip of `Tensor::matmul` and adds the bias in a
+    /// separate pass — bit-exact with `Linear::forward_tensor`.
+    fn apply_row(&self, row: &[f32], out: &mut [f32], qbuf: &mut QBuf) {
+        debug_assert_eq!(row.len(), self.in_dim);
+        debug_assert_eq!(out.len(), self.out_dim);
+        // Common widths go through register-resident fixed-width banks (see
+        // [`accum1`]); anything else falls through to the runtime-width loop.
+        match self.out_dim {
+            8 => return self.apply_row_fixed::<8>(row, out, qbuf),
+            16 => return self.apply_row_fixed::<16>(row, out, qbuf),
+            32 => return self.apply_row_fixed::<32>(row, out, qbuf),
+            64 => return self.apply_row_fixed::<64>(row, out, qbuf),
+            _ => {}
+        }
+        match &self.q {
+            None if self.out_dim == 1 => {
+                // Scalar fast path for projection-to-score layers (attention
+                // key/query, regressor output): same k-ascending zero-skip
+                // chain, no wide accumulator to zero.
+                let mut acc = 0.0f32;
+                for (k, &a) in row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    acc += a * self.w[k];
+                }
+                out[0] = if self.b.is_empty() {
+                    acc
+                } else {
+                    acc + self.b[0]
+                };
+            }
+            None => {
+                let mut stack = [0.0f32; ACC_WIDTH];
+                let acc: &mut [f32] = if self.out_dim <= ACC_WIDTH {
+                    &mut stack[..self.out_dim]
+                } else {
+                    qbuf.acc.clear();
+                    qbuf.acc.resize(self.out_dim, 0.0);
+                    &mut qbuf.acc
+                };
+                for (k, &a) in row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let wrow = &self.w[k * self.out_dim..(k + 1) * self.out_dim];
+                    for (o, &wv) in acc.iter_mut().zip(wrow) {
+                        *o += a * wv;
+                    }
+                }
+                if self.b.is_empty() {
+                    out.copy_from_slice(acc);
+                } else {
+                    for ((o, &s), &bv) in out.iter_mut().zip(acc.iter()).zip(&self.b) {
+                        *o = s + bv;
+                    }
+                }
+            }
+            Some(q) => {
+                let maxabs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                if maxabs == 0.0 || q.scale == 0.0 {
+                    if self.b.is_empty() {
+                        out.fill(0.0);
+                    } else {
+                        out.copy_from_slice(&self.b);
+                    }
+                    return;
+                }
+                // Quantise the activation row per call (symmetric, per-row
+                // scale) into integer-valued f32, then accumulate the exact
+                // integer products in f32.
+                let inv = 127.0 / maxabs;
+                qbuf.qf.clear();
+                qbuf.qf
+                    .extend(row.iter().map(|&v| (v * inv).round().clamp(-127.0, 127.0)));
+                let mut stack = [0.0f32; ACC_WIDTH];
+                let acc: &mut [f32] = if self.out_dim <= ACC_WIDTH {
+                    &mut stack[..self.out_dim]
+                } else {
+                    qbuf.acc.clear();
+                    qbuf.acc.resize(self.out_dim, 0.0);
+                    &mut qbuf.acc
+                };
+                for (k, &a) in qbuf.qf.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let wrow = &q.wf[k * self.out_dim..(k + 1) * self.out_dim];
+                    for (o, &wv) in acc.iter_mut().zip(wrow) {
+                        *o += a * wv;
+                    }
+                }
+                let s = (maxabs / 127.0) * q.scale;
+                if self.b.is_empty() {
+                    for (o, &av) in out.iter_mut().zip(acc.iter()) {
+                        *o = av * s;
+                    }
+                } else {
+                    for ((o, &av), &bv) in out.iter_mut().zip(acc.iter()).zip(&self.b) {
+                        *o = bv + av * s;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fixed-width row application: identical chains to the runtime-width
+    /// path, with the accumulator bank held in registers.
+    #[inline(never)]
+    fn apply_row_fixed<const D: usize>(&self, row: &[f32], out: &mut [f32], qbuf: &mut QBuf) {
+        let mut acc = [0.0f32; D];
+        match &self.q {
+            None => {
+                accum1::<D>(row, &self.w, &mut acc);
+                write_f32::<D>(&self.b, &acc, out);
+            }
+            Some(q) => {
+                let rs = quantize_row(row, &mut qbuf.qf);
+                if rs == 0.0 || q.scale == 0.0 {
+                    if self.b.is_empty() {
+                        out.fill(0.0);
+                    } else {
+                        out.copy_from_slice(&self.b);
+                    }
+                    return;
+                }
+                accum1::<D>(&qbuf.qf, &q.wf, &mut acc);
+                write_q::<D>(&self.b, &acc, rs * q.scale, out);
+            }
+        }
+    }
+
+    /// Applies the layer to `rows` contiguous input rows.
+    fn apply(&self, input: &[f32], rows: usize, out: &mut [f32], qbuf: &mut QBuf) {
+        if self.out_dim == 1 && self.q.is_none() {
+            self.scores_blocked(|r| &input[r * self.in_dim..][..self.in_dim], rows, out);
+            return;
+        }
+        // Dispatch to a fixed width once per call, not once per row: the
+        // monomorphic loop keeps the row walk and the accumulator bank in
+        // one compact hot function.
+        match self.out_dim {
+            8 => return fused1_fixed::<8>(self, input, rows, out, qbuf),
+            16 => return fused1_fixed::<16>(self, input, rows, out, qbuf),
+            32 => return fused1_fixed::<32>(self, input, rows, out, qbuf),
+            64 => return fused1_fixed::<64>(self, input, rows, out, qbuf),
+            _ => {}
+        }
+        for r in 0..rows {
+            self.apply_row(
+                &input[r * self.in_dim..(r + 1) * self.in_dim],
+                &mut out[r * self.out_dim..(r + 1) * self.out_dim],
+                qbuf,
+            );
+        }
+    }
+
+    /// Applies the layer to rows of `arena` selected by `idx` — the fused
+    /// gather + GEMM walk of the CSR kernel.
+    fn apply_gathered(&self, arena: &[f32], idx: &[u32], out: &mut [f32], qbuf: &mut QBuf) {
+        if self.out_dim == 1 && self.q.is_none() {
+            self.scores_blocked(
+                |r| &arena[idx[r] as usize * self.in_dim..][..self.in_dim],
+                idx.len(),
+                out,
+            );
+            return;
+        }
+        match self.out_dim {
+            8 => return gathered1_fixed::<8>(self, arena, idx, out, qbuf),
+            16 => return gathered1_fixed::<16>(self, arena, idx, out, qbuf),
+            32 => return gathered1_fixed::<32>(self, arena, idx, out, qbuf),
+            64 => return gathered1_fixed::<64>(self, arena, idx, out, qbuf),
+            _ => {}
+        }
+        for (r, &i) in idx.iter().enumerate() {
+            let i = i as usize;
+            self.apply_row(
+                &arena[i * self.in_dim..(i + 1) * self.in_dim],
+                &mut out[r * self.out_dim..(r + 1) * self.out_dim],
+                qbuf,
+            );
+        }
+    }
+
+    /// Projection-to-score layers (`out_dim == 1`) walk one k-ascending
+    /// zero-skip chain per row — inherently sequential, so one-at-a-time
+    /// evaluation is add-latency bound. Interleaving four independent rows
+    /// fills the latency bubbles without touching any single chain's order,
+    /// keeping every score bit-exact.
+    #[inline(never)]
+    fn scores_blocked<'a>(
+        &self,
+        row_of: impl Fn(usize) -> &'a [f32],
+        rows: usize,
+        out: &mut [f32],
+    ) {
+        let din = self.in_dim;
+        let w = &self.w[..din];
+        let bias = self.b.first().copied();
+        let mut r = 0;
+        while r + 4 <= rows {
+            let (r0, r1, r2, r3) = (row_of(r), row_of(r + 1), row_of(r + 2), row_of(r + 3));
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (k, &wv) in w.iter().enumerate() {
+                if r0[k] != 0.0 {
+                    a0 += r0[k] * wv;
+                }
+                if r1[k] != 0.0 {
+                    a1 += r1[k] * wv;
+                }
+                if r2[k] != 0.0 {
+                    a2 += r2[k] * wv;
+                }
+                if r3[k] != 0.0 {
+                    a3 += r3[k] * wv;
+                }
+            }
+            if let Some(bv) = bias {
+                a0 += bv;
+                a1 += bv;
+                a2 += bv;
+                a3 += bv;
+            }
+            out[r] = a0;
+            out[r + 1] = a1;
+            out[r + 2] = a2;
+            out[r + 3] = a3;
+            r += 4;
+        }
+        while r < rows {
+            let row = row_of(r);
+            let mut acc = 0.0f32;
+            for (k, &wv) in w.iter().enumerate() {
+                if row[k] != 0.0 {
+                    acc += row[k] * wv;
+                }
+            }
+            out[r] = if let Some(bv) = bias { acc + bv } else { acc };
+            r += 1;
+        }
+    }
+}
+
+/// An MLP baked into flat layers.
+#[derive(Debug, Clone)]
+struct MlpW {
+    layers: Vec<LinW>,
+    activation: Activation,
+    sigmoid_output: bool,
+}
+
+impl MlpW {
+    fn from_mlp(store: &ParamStore, mlp: &Mlp, mode: QuantMode) -> Self {
+        MlpW {
+            layers: mlp
+                .layers()
+                .iter()
+                .map(|l| LinW::from_linear(store, l, mode))
+                .collect(),
+            activation: mlp.activation(),
+            sigmoid_output: mlp.has_sigmoid_output(),
+        }
+    }
+}
+
+/// Applies `mlp` to one row, ping-ponging hidden activations through `a`/`b`.
+fn mlp_apply_row(
+    mlp: &MlpW,
+    row: &[f32],
+    out: &mut [f32],
+    a: &mut Vec<f32>,
+    b: &mut Vec<f32>,
+    qbuf: &mut QBuf,
+) {
+    let last = mlp.layers.len() - 1;
+    a.clear();
+    a.extend_from_slice(row);
+    for (i, layer) in mlp.layers.iter().enumerate() {
+        if i == last {
+            layer.apply_row(a, out, qbuf);
+        } else {
+            b.clear();
+            b.resize(layer.out_dim, 0.0);
+            layer.apply_row(a, b, qbuf);
+            for v in b.iter_mut() {
+                *v = match mlp.activation {
+                    Activation::Relu => v.max(0.0),
+                    Activation::Tanh => v.tanh(),
+                    Activation::Sigmoid => sigmoid(*v),
+                };
+            }
+            std::mem::swap(a, b);
+        }
+    }
+    if mlp.sigmoid_output {
+        for v in out.iter_mut() {
+            *v = sigmoid(*v);
+        }
+    }
+}
+
+/// The six GRU gate projections in flat form.
+#[derive(Debug, Clone)]
+struct GruW {
+    xr: LinW,
+    hr: LinW,
+    xz: LinW,
+    hz: LinW,
+    xn: LinW,
+    hn: LinW,
+}
+
+impl GruW {
+    fn from_gru(store: &ParamStore, gru: &GruCell, mode: QuantMode) -> Self {
+        let [xr, hr, xz, hz, xn, hn] = gru.gates();
+        GruW {
+            xr: LinW::from_linear(store, xr, mode),
+            hr: LinW::from_linear(store, hr, mode),
+            xz: LinW::from_linear(store, xz, mode),
+            hz: LinW::from_linear(store, hz, mode),
+            xn: LinW::from_linear(store, xn, mode),
+            hn: LinW::from_linear(store, hn, mode),
+        }
+    }
+}
+
+/// The aggregator weights in flat form, one variant per
+/// [`crate::AggregatorKind`].
+#[derive(Debug, Clone)]
+enum AggW {
+    ConvSum {
+        project: LinW,
+    },
+    Attention {
+        query: LinW,
+        key: LinW,
+        edge_attr: Option<LinW>,
+    },
+    DeepSet {
+        phi: MlpW,
+        rho: LinW,
+    },
+    GatedSum {
+        gate: LinW,
+        value: LinW,
+    },
+}
+
+impl AggW {
+    fn from_aggregator(store: &ParamStore, agg: &Aggregator, mode: QuantMode) -> Self {
+        match agg.params() {
+            AggregatorParams::ConvSum { project } => AggW::ConvSum {
+                project: LinW::from_linear(store, project, mode),
+            },
+            AggregatorParams::Attention {
+                query,
+                key,
+                edge_attr,
+            } => AggW::Attention {
+                query: LinW::from_linear(store, query, mode),
+                key: LinW::from_linear(store, key, mode),
+                edge_attr: edge_attr
+                    .as_ref()
+                    .map(|l| LinW::from_linear(store, l, mode)),
+            },
+            AggregatorParams::DeepSet { phi, rho } => AggW::DeepSet {
+                phi: MlpW::from_mlp(store, phi, mode),
+                rho: LinW::from_linear(store, rho, mode),
+            },
+            AggregatorParams::GatedSum { gate, value } => AggW::GatedSum {
+                gate: LinW::from_linear(store, gate, mode),
+                value: LinW::from_linear(store, value, mode),
+            },
+        }
+    }
+}
+
+/// Per-predict scratch arenas, reused across levels and iterations so the
+/// hot loop never allocates.
+#[derive(Debug, Default)]
+struct Scratch {
+    qbuf: QBuf,
+    /// Per-target attention query scores.
+    tq: Vec<f32>,
+    /// Per-edge attention scores / softmax weights.
+    score: Vec<f32>,
+    /// Per-edge projection arenas.
+    e1: Vec<f32>,
+    e2: Vec<f32>,
+    /// Per-target message arena.
+    msg: Vec<f32>,
+    /// GRU input arena (`[msg | one-hot]` when the gate input is fixed).
+    gin: Vec<f32>,
+    /// GRU gate arenas.
+    g1: Vec<f32>,
+    g2: Vec<f32>,
+    g3: Vec<f32>,
+    g4: Vec<f32>,
+    g5: Vec<f32>,
+    /// MLP ping-pong rows.
+    ha: Vec<f32>,
+    hb: Vec<f32>,
+}
+
+impl Scratch {
+    /// Sizes every arena for the widest level of `plan` once per predict,
+    /// so the per-level hot path only slices (and zeroes the arenas that
+    /// are accumulated into) instead of re-zeroing every buffer on every
+    /// pass.
+    fn reserve(&mut self, plan: &InferencePlan, d: usize, gi: usize) {
+        fn grow(v: &mut Vec<f32>, len: usize) {
+            if v.len() < len {
+                v.resize(len, 0.0);
+            }
+        }
+        let levels = plan.forward.iter().chain(&plan.reverse);
+        let (mut max_m, mut max_e) = (0usize, 0usize);
+        for lvl in levels {
+            max_m = max_m.max(lvl.end - lvl.start);
+            max_e = max_e.max(lvl.edge_src.len());
+        }
+        grow(&mut self.tq, max_m);
+        grow(&mut self.score, max_e);
+        grow(&mut self.e1, max_e * d);
+        grow(&mut self.e2, max_e * d);
+        grow(&mut self.msg, max_m * d);
+        grow(&mut self.gin, max_m * gi);
+        grow(&mut self.g1, max_m * d);
+        grow(&mut self.g2, max_m * d);
+        grow(&mut self.g3, max_m * d);
+        grow(&mut self.g4, max_m * d);
+        grow(&mut self.g5, max_m * d);
+    }
+}
+
+#[inline]
+fn sigmoid(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+/// A [`crate::DagRecGnn`] compiled for the CSR arena layout: flat weight
+/// copies plus the fused per-level kernels, independent of the parameter
+/// store. Build one per session via `DagRecGnn::compile` (or
+/// `deepgate::core::DeepGate::compile`) and reuse it across predictions.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    mode: QuantMode,
+    feature_dim: usize,
+    hidden_dim: usize,
+    attr_dim: usize,
+    fix_gate_input: bool,
+    per_type_regressor: bool,
+    embed: LinW,
+    forward_agg: AggW,
+    forward_gru: GruW,
+    reverse: Option<(AggW, GruW)>,
+    heads: Vec<MlpW>,
+}
+
+impl CompiledKernel {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn build(
+        store: &ParamStore,
+        config: &crate::DagRecConfig,
+        embed: &Linear,
+        forward_agg: &Aggregator,
+        forward_gru: &GruCell,
+        reverse_agg: Option<&Aggregator>,
+        reverse_gru: Option<&GruCell>,
+        regressors: &[Mlp],
+        mode: QuantMode,
+    ) -> Self {
+        let reverse = match (reverse_agg, reverse_gru) {
+            (Some(a), Some(g)) => Some((
+                AggW::from_aggregator(store, a, mode),
+                GruW::from_gru(store, g, mode),
+            )),
+            _ => None,
+        };
+        CompiledKernel {
+            mode,
+            feature_dim: config.feature_dim,
+            hidden_dim: config.hidden_dim,
+            attr_dim: config.edge_attr_dim(),
+            fix_gate_input: config.fix_gate_input,
+            per_type_regressor: config.per_type_regressor,
+            embed: LinW::from_linear(store, embed, mode),
+            forward_agg: AggW::from_aggregator(store, forward_agg, mode),
+            forward_gru: GruW::from_gru(store, forward_gru, mode),
+            reverse,
+            heads: regressors
+                .iter()
+                .map(|m| MlpW::from_mlp(store, m, mode))
+                .collect(),
+        }
+    }
+
+    /// The kernel's scoring mode.
+    pub fn mode(&self) -> QuantMode {
+        self.mode
+    }
+
+    /// Runs the full recurrence over a packed plan, writing per-node
+    /// probabilities (original node order) into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::PlanMismatch`] if the plan's feature or
+    /// edge-attribute width does not match the compiled model.
+    pub fn predict_into(
+        &self,
+        plan: &InferencePlan,
+        num_iterations: usize,
+        out: &mut Vec<f32>,
+        metrics: Option<&GnnMetrics>,
+    ) -> Result<(), GnnError> {
+        if plan.feature_dim != self.feature_dim || plan.attr_dim != self.attr_dim {
+            return Err(GnnError::PlanMismatch);
+        }
+        if let Some(m) = metrics {
+            m.circuit_nodes.record(plan.num_nodes as u64);
+            if self.mode == QuantMode::Int8 {
+                m.quantized_predicts.inc();
+            }
+        }
+        let n = plan.num_nodes;
+        let d = self.hidden_dim;
+        let mut s = Scratch::default();
+        let gi = if self.fix_gate_input {
+            d + self.feature_dim
+        } else {
+            d
+        };
+        s.reserve(plan, d, gi);
+
+        // Initial embedding of the packed one-hot features.
+        let mut h = vec![0.0f32; n * d];
+        self.embed.apply(&plan.features, n, &mut h, &mut s.qbuf);
+
+        // Attention attribute biases are constant across iterations:
+        // project each forward level's attribute rows once.
+        let attr_bias = self.precompute_attr_bias(plan, &mut s);
+
+        for _ in 0..num_iterations {
+            for (li, lvl) in plan.forward.iter().enumerate() {
+                let t0 = metrics.map(|_| Instant::now());
+                self.level_pass(
+                    lvl,
+                    attr_bias.get(li).and_then(|b| b.as_deref()),
+                    plan,
+                    false,
+                    &mut h,
+                    &mut s,
+                );
+                if let (Some(m), Some(start)) = (metrics, t0) {
+                    m.level_agg_ns.record_duration(start.elapsed());
+                    m.levels_total.inc();
+                    m.csr_level_width.record((lvl.end - lvl.start) as u64);
+                }
+            }
+            if self.reverse.is_some() {
+                for lvl in &plan.reverse {
+                    let t0 = metrics.map(|_| Instant::now());
+                    self.level_pass(lvl, None, plan, true, &mut h, &mut s);
+                    if let (Some(m), Some(start)) = (metrics, t0) {
+                        m.level_agg_ns.record_duration(start.elapsed());
+                        m.levels_total.inc();
+                        m.csr_level_width.record((lvl.end - lvl.start) as u64);
+                    }
+                }
+            }
+        }
+
+        let regress_start = metrics.map(|_| Instant::now());
+        let mut pred = vec![0.0f32; n];
+        self.regress(plan, &h, &mut pred, &mut s);
+        if let (Some(m), Some(start)) = (metrics, regress_start) {
+            m.regress_ns.record_duration(start.elapsed());
+        }
+
+        out.clear();
+        out.reserve(n);
+        for old in 0..n {
+            out.push(pred[plan.perm[old] as usize]);
+        }
+        Ok(())
+    }
+
+    /// Projects each forward level's edge-attribute rows through the
+    /// attention attribute head. Returns one bias-per-edge vector per level
+    /// (`None` for levels without attributes or non-attention kernels).
+    fn precompute_attr_bias(&self, plan: &InferencePlan, s: &mut Scratch) -> Vec<Option<Vec<f32>>> {
+        let proj = match &self.forward_agg {
+            AggW::Attention {
+                edge_attr: Some(p), ..
+            } if plan.attr_dim > 0 => p,
+            _ => return Vec::new(),
+        };
+        plan.forward
+            .iter()
+            .map(|lvl| {
+                let edges = lvl.edge_src.len();
+                let mut bias = vec![0.0f32; edges];
+                proj.apply(&lvl.attr, edges, &mut bias, &mut s.qbuf);
+                Some(bias)
+            })
+            .collect()
+    }
+
+    /// One level's fused aggregation + GRU update over the packed arena.
+    fn level_pass(
+        &self,
+        lvl: &CsrLevel,
+        attr_bias: Option<&[f32]>,
+        plan: &InferencePlan,
+        reverse: bool,
+        h: &mut [f32],
+        s: &mut Scratch,
+    ) {
+        let d = self.hidden_dim;
+        let m = lvl.end - lvl.start;
+        let edges = lvl.edge_src.len();
+        let (agg, gru) = if reverse {
+            let (a, g) = self.reverse.as_ref().expect("reverse layer configured");
+            (a, g)
+        } else {
+            (&self.forward_agg, &self.forward_gru)
+        };
+
+        // Arenas are pre-sized by `Scratch::reserve`; only `msg` (and the
+        // DeepSet segment sum) accumulate, so only they need zeroing here —
+        // every other arena is fully overwritten before it is read.
+        let msg = &mut s.msg[..m * d];
+        msg.fill(0.0);
+        match agg {
+            AggW::ConvSum { project } => {
+                let e1 = &mut s.e1[..edges * d];
+                project.apply_gathered(h, &lvl.edge_src, e1, &mut s.qbuf);
+                segment_sum(e1, &lvl.offsets, d, msg);
+            }
+            AggW::Attention { query, key, .. } => {
+                // Per-edge key scores, fused gather + dot.
+                let score = &mut s.score[..edges];
+                key.apply_gathered(h, &lvl.edge_src, score, &mut s.qbuf);
+                // Per-target query scores (shared by all of a target's
+                // edges — same value the legacy per-edge gather computed).
+                let tq = &mut s.tq[..m];
+                query.apply(&h[lvl.start * d..lvl.end * d], m, tq, &mut s.qbuf);
+                for (i, &tqi) in tq.iter().enumerate() {
+                    let (a, b) = (lvl.offsets[i] as usize, lvl.offsets[i + 1] as usize);
+                    for sc in &mut score[a..b] {
+                        *sc += tqi;
+                    }
+                }
+                if let Some(bias) = attr_bias {
+                    for (sc, &bv) in score.iter_mut().zip(bias) {
+                        *sc += bv;
+                    }
+                }
+                // Segment softmax in place, mirroring the legacy edge order.
+                for i in 0..m {
+                    let (a, b) = (lvl.offsets[i] as usize, lvl.offsets[i + 1] as usize);
+                    let seg = &mut score[a..b];
+                    let max = seg.iter().fold(f32::NEG_INFINITY, |acc, &v| acc.max(v));
+                    let mut sum = 0.0f32;
+                    for v in seg.iter_mut() {
+                        *v = (*v - max).exp();
+                        sum += *v;
+                    }
+                    for v in seg.iter_mut() {
+                        *v /= sum;
+                    }
+                }
+                // Weighted accumulation of source rows.
+                for i in 0..m {
+                    let (a, b) = (lvl.offsets[i] as usize, lvl.offsets[i + 1] as usize);
+                    let mrow = &mut msg[i * d..(i + 1) * d];
+                    for e in a..b {
+                        let alpha = score[e];
+                        let src = &h[lvl.edge_src[e] as usize * d..][..d];
+                        for (o, &sv) in mrow.iter_mut().zip(src) {
+                            *o += alpha * sv;
+                        }
+                    }
+                }
+            }
+            AggW::DeepSet { phi, rho } => {
+                let e1 = &mut s.e1[..edges * d];
+                for (r, &src) in lvl.edge_src.iter().enumerate() {
+                    let row = &h[src as usize * d..(src as usize + 1) * d];
+                    mlp_apply_row(
+                        phi,
+                        row,
+                        &mut e1[r * d..(r + 1) * d],
+                        &mut s.ha,
+                        &mut s.hb,
+                        &mut s.qbuf,
+                    );
+                }
+                let e2 = &mut s.e2[..m * d];
+                e2.fill(0.0);
+                segment_sum(e1, &lvl.offsets, d, e2);
+                rho.apply(e2, m, msg, &mut s.qbuf);
+            }
+            AggW::GatedSum { gate, value } => {
+                let e1 = &mut s.e1[..edges * d];
+                gate.apply_gathered(h, &lvl.edge_src, e1, &mut s.qbuf);
+                for v in e1.iter_mut() {
+                    *v = sigmoid(*v);
+                }
+                let e2 = &mut s.e2[..edges * d];
+                value.apply_gathered(h, &lvl.edge_src, e2, &mut s.qbuf);
+                for (g, &v) in e1.iter_mut().zip(e2.iter()) {
+                    *g *= v;
+                }
+                segment_sum(e1, &lvl.offsets, d, msg);
+            }
+        }
+
+        // GRU input: the message, with the gate one-hot appended when the
+        // gate input is fixed (DeepGate's Eq. 6).
+        let f = self.feature_dim;
+        let input: &[f32] = if self.fix_gate_input {
+            let gi = d + f;
+            let gin = &mut s.gin[..m * gi];
+            for i in 0..m {
+                gin[i * gi..i * gi + d].copy_from_slice(&msg[i * d..(i + 1) * d]);
+                gin[i * gi + d..(i + 1) * gi]
+                    .copy_from_slice(&plan.features[(lvl.start + i) * f..(lvl.start + i + 1) * f]);
+            }
+            gin
+        } else {
+            msg
+        };
+        gru_step(
+            gru,
+            input,
+            h,
+            lvl.start,
+            lvl.end,
+            d,
+            &mut s.g1[..m * d],
+            &mut s.g2[..m * d],
+            &mut s.g3[..m * d],
+            &mut s.g4[..m * d],
+            &mut s.g5[..m * d],
+            &mut s.qbuf,
+        );
+    }
+
+    /// The regressor heads over the packed final embeddings. The per-type
+    /// path evaluates only the head selected by each node's one-hot — the
+    /// legacy path ran every head over every node and masked after.
+    fn regress(&self, plan: &InferencePlan, h: &[f32], pred: &mut [f32], s: &mut Scratch) {
+        let d = self.hidden_dim;
+        let f = self.feature_dim;
+        if !self.per_type_regressor {
+            let head = &self.heads[0];
+            for i in 0..plan.num_nodes {
+                mlp_apply_row(
+                    head,
+                    &h[i * d..(i + 1) * d],
+                    &mut pred[i..i + 1],
+                    &mut s.ha,
+                    &mut s.hb,
+                    &mut s.qbuf,
+                );
+            }
+            return;
+        }
+        for i in 0..plan.num_nodes {
+            let mut acc = 0.0f32;
+            let mut one = [0.0f32];
+            for (head_idx, head) in self.heads.iter().enumerate() {
+                let mask = plan.features[i * f + head_idx];
+                if mask > 0.0 {
+                    mlp_apply_row(
+                        head,
+                        &h[i * d..(i + 1) * d],
+                        &mut one,
+                        &mut s.ha,
+                        &mut s.hb,
+                        &mut s.qbuf,
+                    );
+                    acc += mask * one[0];
+                }
+            }
+            pred[i] = acc;
+        }
+    }
+}
+
+/// Adds each CSR row's edge rows into its target row, in edge order — the
+/// dense form of the legacy scatter-add.
+fn segment_sum(edge_rows: &[f32], offsets: &[u32], d: usize, out: &mut [f32]) {
+    for i in 0..offsets.len() - 1 {
+        let (a, b) = (offsets[i] as usize, offsets[i + 1] as usize);
+        let orow = &mut out[i * d..(i + 1) * d];
+        for e in a..b {
+            let erow = &edge_rows[e * d..(e + 1) * d];
+            for (o, &v) in orow.iter_mut().zip(erow) {
+                *o += v;
+            }
+        }
+    }
+}
+
+/// Accumulates `row @ W` into a compile-time-width accumulator bank. The
+/// monomorphic width lets LLVM keep the whole bank in SIMD registers across
+/// the `k` walk instead of round-tripping every partial sum through the
+/// stack — the chains and their order are identical to the runtime-width
+/// loop, only the register allocation changes.
+#[inline(always)]
+fn accum1<const D: usize>(row: &[f32], w: &[f32], acc: &mut [f32; D]) {
+    for (k, &a) in row.iter().enumerate() {
+        if a == 0.0 {
+            continue;
+        }
+        let wr = &w[k * D..k * D + D];
+        // Indexed, not iterator-zip: the zip form of this loop gets
+        // SLP-scalarized at `D = 32` (an order-of-magnitude regression);
+        // the indexed form reliably takes the loop vectorizer.
+        for j in 0..D {
+            acc[j] += a * wr[j];
+        }
+    }
+}
+
+/// Three-bank variant of [`accum1`]: the shared input element is loaded and
+/// tested once, then feeds three independent accumulator banks.
+#[inline(always)]
+fn accum3<const D: usize>(
+    row: &[f32],
+    wa: &[f32],
+    wb: &[f32],
+    wc: &[f32],
+    aa: &mut [f32; D],
+    ab: &mut [f32; D],
+    ac: &mut [f32; D],
+) {
+    for (k, &a) in row.iter().enumerate() {
+        if a == 0.0 {
+            continue;
+        }
+        let ra = &wa[k * D..k * D + D];
+        let rb = &wb[k * D..k * D + D];
+        let rc = &wc[k * D..k * D + D];
+        for j in 0..D {
+            aa[j] += a * ra[j];
+            ab[j] += a * rb[j];
+            ac[j] += a * rc[j];
+        }
+    }
+}
+
+/// Two-bank variant of [`accum1`] for the h-side GRU gate pair.
+#[inline(always)]
+fn accum2<const D: usize>(
+    row: &[f32],
+    wa: &[f32],
+    wb: &[f32],
+    aa: &mut [f32; D],
+    ab: &mut [f32; D],
+) {
+    for (k, &a) in row.iter().enumerate() {
+        if a == 0.0 {
+            continue;
+        }
+        let ra = &wa[k * D..k * D + D];
+        let rb = &wb[k * D..k * D + D];
+        for j in 0..D {
+            aa[j] += a * ra[j];
+            ab[j] += a * rb[j];
+        }
+    }
+}
+
+/// Writes an f32 accumulator bank out, adding the bias after accumulation
+/// exactly like [`LinW::apply_row`].
+#[inline(always)]
+fn write_f32<const D: usize>(b: &[f32], acc: &[f32; D], out: &mut [f32]) {
+    if b.is_empty() {
+        out.copy_from_slice(acc);
+    } else {
+        for ((o, &av), &bv) in out.iter_mut().zip(acc).zip(b) {
+            *o = av + bv;
+        }
+    }
+}
+
+/// Writes a quantized accumulator bank out: dequantise with the combined
+/// activation × weight scale, then add the bias.
+#[inline(always)]
+fn write_q<const D: usize>(b: &[f32], acc: &[f32; D], s: f32, out: &mut [f32]) {
+    if b.is_empty() {
+        for (o, &av) in out.iter_mut().zip(acc) {
+            *o = av * s;
+        }
+    } else {
+        for ((o, &av), &bv) in out.iter_mut().zip(acc).zip(b) {
+            *o = bv + av * s;
+        }
+    }
+}
+
+/// Quantises one activation row into `qf` (symmetric per-row scale, round
+/// to nearest, clamp to ±127) and returns the row scale `maxabs / 127`.
+#[inline(always)]
+fn quantize_row(row: &[f32], qf: &mut Vec<f32>) -> f32 {
+    let maxabs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    qf.clear();
+    if maxabs == 0.0 {
+        qf.resize(row.len(), 0.0);
+        return 0.0;
+    }
+    let inv = 127.0 / maxabs;
+    qf.extend(row.iter().map(|&v| (v * inv).round().clamp(-127.0, 127.0)));
+    maxabs / 127.0
+}
+
+/// Applies three layers that share the same input rows (the x-side GRU
+/// gates) in a single pass: each input element is loaded and zero-tested
+/// once and feeds three register-resident accumulator banks. Every output
+/// element keeps the exact k-ascending zero-skip accumulation chain of
+/// [`LinW::apply_row`], so the fusion is bit-exact — it only changes how
+/// many partial sums are alive at once, not the order within any one of
+/// them. In `Int8` mode the per-row activation quantisation is computed
+/// once and shared (each gate previously recomputed the identical values).
+#[allow(clippy::too_many_arguments)]
+fn apply_fused3(
+    la: &LinW,
+    lb: &LinW,
+    lc: &LinW,
+    input: &[f32],
+    rows: usize,
+    oa: &mut [f32],
+    ob: &mut [f32],
+    oc: &mut [f32],
+    qbuf: &mut QBuf,
+) {
+    debug_assert!(lb.in_dim == la.in_dim && lc.in_dim == la.in_dim);
+    debug_assert!(lb.out_dim == la.out_dim && lc.out_dim == la.out_dim);
+    match la.out_dim {
+        8 => fused3_fixed::<8>(la, lb, lc, input, rows, oa, ob, oc, qbuf),
+        16 => fused3_fixed::<16>(la, lb, lc, input, rows, oa, ob, oc, qbuf),
+        32 => fused3_fixed::<32>(la, lb, lc, input, rows, oa, ob, oc, qbuf),
+        64 => fused3_fixed::<64>(la, lb, lc, input, rows, oa, ob, oc, qbuf),
+        _ => {
+            la.apply(input, rows, oa, qbuf);
+            lb.apply(input, rows, ob, qbuf);
+            lc.apply(input, rows, oc, qbuf);
+        }
+    }
+}
+
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+fn fused3_fixed<const D: usize>(
+    la: &LinW,
+    lb: &LinW,
+    lc: &LinW,
+    input: &[f32],
+    rows: usize,
+    oa: &mut [f32],
+    ob: &mut [f32],
+    oc: &mut [f32],
+    qbuf: &mut QBuf,
+) {
+    let din = la.in_dim;
+    match (&la.q, &lb.q, &lc.q) {
+        (Some(qa), Some(qb), Some(qc)) => {
+            for r in 0..rows {
+                let row = &input[r * din..(r + 1) * din];
+                let (mut aa, mut ab, mut ac) = ([0.0f32; D], [0.0f32; D], [0.0f32; D]);
+                let rs = quantize_row(row, &mut qbuf.qf);
+                accum3::<D>(&qbuf.qf, &qa.wf, &qb.wf, &qc.wf, &mut aa, &mut ab, &mut ac);
+                write_q::<D>(&la.b, &aa, rs * qa.scale, &mut oa[r * D..(r + 1) * D]);
+                write_q::<D>(&lb.b, &ab, rs * qb.scale, &mut ob[r * D..(r + 1) * D]);
+                write_q::<D>(&lc.b, &ac, rs * qc.scale, &mut oc[r * D..(r + 1) * D]);
+            }
+        }
+        _ => {
+            for r in 0..rows {
+                let row = &input[r * din..(r + 1) * din];
+                let (mut aa, mut ab, mut ac) = ([0.0f32; D], [0.0f32; D], [0.0f32; D]);
+                accum3::<D>(row, &la.w, &lb.w, &lc.w, &mut aa, &mut ab, &mut ac);
+                write_f32::<D>(&la.b, &aa, &mut oa[r * D..(r + 1) * D]);
+                write_f32::<D>(&lb.b, &ab, &mut ob[r * D..(r + 1) * D]);
+                write_f32::<D>(&lc.b, &ac, &mut oc[r * D..(r + 1) * D]);
+            }
+        }
+    }
+}
+
+/// Two-layer variant of [`apply_fused3`] for the h-side GRU gate pair.
+fn apply_fused2(
+    la: &LinW,
+    lb: &LinW,
+    input: &[f32],
+    rows: usize,
+    oa: &mut [f32],
+    ob: &mut [f32],
+    qbuf: &mut QBuf,
+) {
+    debug_assert!(lb.in_dim == la.in_dim && lb.out_dim == la.out_dim);
+    match la.out_dim {
+        8 => fused2_fixed::<8>(la, lb, input, rows, oa, ob, qbuf),
+        16 => fused2_fixed::<16>(la, lb, input, rows, oa, ob, qbuf),
+        32 => fused2_fixed::<32>(la, lb, input, rows, oa, ob, qbuf),
+        64 => fused2_fixed::<64>(la, lb, input, rows, oa, ob, qbuf),
+        _ => {
+            la.apply(input, rows, oa, qbuf);
+            lb.apply(input, rows, ob, qbuf);
+        }
+    }
+}
+
+/// Single-layer fixed-width batch: one matrix over `rows` contiguous input
+/// rows. A free function like [`fused2_fixed`] rather than a method — the
+/// method-shaped monomorphization of this loop came out scalarized at
+/// `D = 32` (LLVM's SLP vectorizer won the cost-model coin flip over the
+/// loop vectorizer), an order-of-magnitude regression on the GRU candidate
+/// matvec. The free-function shape compiles to the register-resident
+/// vector loop shared by the two- and three-bank variants.
+#[inline(never)]
+fn fused1_fixed<const D: usize>(
+    l: &LinW,
+    input: &[f32],
+    rows: usize,
+    out: &mut [f32],
+    qbuf: &mut QBuf,
+) {
+    let din = l.in_dim;
+    match &l.q {
+        None => {
+            for r in 0..rows {
+                let row = &input[r * din..(r + 1) * din];
+                let mut acc = [0.0f32; D];
+                accum1::<D>(row, &l.w, &mut acc);
+                write_f32::<D>(&l.b, &acc, &mut out[r * D..(r + 1) * D]);
+            }
+        }
+        Some(q) => {
+            for r in 0..rows {
+                let row = &input[r * din..(r + 1) * din];
+                let o = &mut out[r * D..(r + 1) * D];
+                let rs = quantize_row(row, &mut qbuf.qf);
+                if rs == 0.0 || q.scale == 0.0 {
+                    if l.b.is_empty() {
+                        o.fill(0.0);
+                    } else {
+                        o.copy_from_slice(&l.b);
+                    }
+                    continue;
+                }
+                let mut acc = [0.0f32; D];
+                accum1::<D>(&qbuf.qf, &q.wf, &mut acc);
+                write_q::<D>(&l.b, &acc, rs * q.scale, o);
+            }
+        }
+    }
+}
+
+/// Gathered variant of [`fused1_fixed`]: rows selected by `idx`.
+#[inline(never)]
+fn gathered1_fixed<const D: usize>(
+    l: &LinW,
+    arena: &[f32],
+    idx: &[u32],
+    out: &mut [f32],
+    qbuf: &mut QBuf,
+) {
+    let din = l.in_dim;
+    match &l.q {
+        None => {
+            for (r, &i) in idx.iter().enumerate() {
+                let row = &arena[i as usize * din..][..din];
+                let mut acc = [0.0f32; D];
+                accum1::<D>(row, &l.w, &mut acc);
+                write_f32::<D>(&l.b, &acc, &mut out[r * D..(r + 1) * D]);
+            }
+        }
+        Some(q) => {
+            for (r, &i) in idx.iter().enumerate() {
+                let row = &arena[i as usize * din..][..din];
+                let o = &mut out[r * D..(r + 1) * D];
+                let rs = quantize_row(row, &mut qbuf.qf);
+                if rs == 0.0 || q.scale == 0.0 {
+                    if l.b.is_empty() {
+                        o.fill(0.0);
+                    } else {
+                        o.copy_from_slice(&l.b);
+                    }
+                    continue;
+                }
+                let mut acc = [0.0f32; D];
+                accum1::<D>(&qbuf.qf, &q.wf, &mut acc);
+                write_q::<D>(&l.b, &acc, rs * q.scale, o);
+            }
+        }
+    }
+}
+
+#[inline(never)]
+fn fused2_fixed<const D: usize>(
+    la: &LinW,
+    lb: &LinW,
+    input: &[f32],
+    rows: usize,
+    oa: &mut [f32],
+    ob: &mut [f32],
+    qbuf: &mut QBuf,
+) {
+    let din = la.in_dim;
+    match (&la.q, &lb.q) {
+        (Some(qa), Some(qb)) => {
+            for r in 0..rows {
+                let row = &input[r * din..(r + 1) * din];
+                let (mut aa, mut ab) = ([0.0f32; D], [0.0f32; D]);
+                let rs = quantize_row(row, &mut qbuf.qf);
+                accum2::<D>(&qbuf.qf, &qa.wf, &qb.wf, &mut aa, &mut ab);
+                write_q::<D>(&la.b, &aa, rs * qa.scale, &mut oa[r * D..(r + 1) * D]);
+                write_q::<D>(&lb.b, &ab, rs * qb.scale, &mut ob[r * D..(r + 1) * D]);
+            }
+        }
+        _ => {
+            for r in 0..rows {
+                let row = &input[r * din..(r + 1) * din];
+                let (mut aa, mut ab) = ([0.0f32; D], [0.0f32; D]);
+                accum2::<D>(row, &la.w, &lb.w, &mut aa, &mut ab);
+                write_f32::<D>(&la.b, &aa, &mut oa[r * D..(r + 1) * D]);
+                write_f32::<D>(&lb.b, &ab, &mut ob[r * D..(r + 1) * D]);
+            }
+        }
+    }
+}
+
+/// One GRU update over the contiguous packed range `[start, end)` of the
+/// hidden arena, computed in the exact operation order of
+/// `GruCell::forward_tensor` (separate x-side and h-side sums, then
+/// elementwise combines) so the f32 kernel stays bit-exact.
+#[allow(clippy::too_many_arguments)]
+fn gru_step(
+    gru: &GruW,
+    input: &[f32],
+    h: &mut [f32],
+    start: usize,
+    end: usize,
+    d: usize,
+    g1: &mut [f32],
+    g2: &mut [f32],
+    g3: &mut [f32],
+    g4: &mut [f32],
+    g5: &mut [f32],
+    qbuf: &mut QBuf,
+) {
+    let m = end - start;
+    let len = m * d;
+    // The three x-side gate sums share `input`; the two h-side sums share
+    // the packed hidden rows. Fused multi-accumulator passes compute them
+    // with one walk over each shared operand.
+    apply_fused3(&gru.xr, &gru.xz, &gru.xn, input, m, g1, g3, g4, qbuf);
+    apply_fused2(&gru.hr, &gru.hz, &h[start * d..end * d], m, g2, g5, qbuf);
+    // r = σ(x W_xr + h W_hr)  → g1
+    for (r, &hv) in g1.iter_mut().zip(g2.iter()) {
+        *r = sigmoid(*r + hv);
+    }
+    // z = σ(x W_xz + h W_hz)  → g3
+    for (z, &hv) in g3.iter_mut().zip(g5.iter()) {
+        *z = sigmoid(*z + hv);
+    }
+    // gated = r ⊙ h  → g2
+    for (i, g) in g2.iter_mut().enumerate() {
+        *g = g1[i] * h[start * d + i];
+    }
+    // n = tanh(x W_xn + gated W_hn)  → g4 (g5 is free once z is built)
+    gru.hn.apply(g2, m, g5, qbuf);
+    for (n, &hv) in g4.iter_mut().zip(g5.iter()) {
+        *n = (*n + hv).tanh();
+    }
+    // h' = (1 - z) ⊙ n + z ⊙ h, written straight into the arena.
+    for i in 0..len {
+        let hv = h[start * d + i];
+        let z = g3[i];
+        h[start * d + i] = (1.0 - z) * g4[i] + z * hv;
+    }
+}

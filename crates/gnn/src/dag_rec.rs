@@ -12,6 +12,7 @@
 //! | DeepGate w/o SC | Attention | yes | yes | no |
 //! | DeepGate w/ SC | Attention | yes | yes | yes |
 
+use crate::csr::{CompiledKernel, InferencePlan, QuantMode};
 use crate::{
     Aggregator, AggregatorKind, CircuitGraph, GnnError, GnnMetrics, LevelBatch, ProbabilityModel,
 };
@@ -20,17 +21,16 @@ use deepgate_nn::{Activation, Graph, GruCell, Linear, Mlp, ParamStore, Tensor, V
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// Precomputed per-circuit inference state: the extended (skip-connection
-/// augmented) edge lists of every forward level batch.
+/// Precomputed per-circuit state of the *legacy* tensor path: the extended
+/// (skip-connection augmented) edge lists of every forward level batch.
 ///
-/// Building these lists is pure bookkeeping on the circuit structure, yet the
-/// naive inference path rebuilds them once per batch *per recurrence
-/// iteration*. A plan computes them once; [`DagRecGnn::try_predict_into`]
-/// then reuses the plan across iterations — and a serving layer (see
-/// `deepgate::InferenceSession`) reuses it across calls for repeated
-/// circuits.
+/// This is the reference implementation the CSR kernel is validated against
+/// (`tests/csr_parity.rs` asserts bit-exact agreement in f32 mode). Serving
+/// uses [`InferencePlan`] + [`CompiledKernel`] instead; the reference path
+/// stays as the ground truth for parity tests and the before/after
+/// benchmark sweep.
 #[derive(Debug, Clone)]
-pub struct InferencePlan {
+pub struct ReferencePlan {
     /// Per forward batch: skip-extended `(edge_src, edge_seg, attr)`.
     forward: Vec<(Vec<usize>, Vec<usize>, Option<Tensor>)>,
     /// Per forward batch: target node of every (extended) edge.
@@ -42,7 +42,7 @@ pub struct InferencePlan {
     attr_dim: usize,
 }
 
-impl InferencePlan {
+impl ReferencePlan {
     /// Number of forward level batches the plan covers.
     pub fn num_batches(&self) -> usize {
         self.forward.len()
@@ -379,9 +379,41 @@ impl DagRecGnn {
         Ok(())
     }
 
-    /// Precomputes the extended edge lists of every forward batch of a
-    /// circuit, for reuse across recurrence iterations and inference calls.
+    /// Compiles a circuit into the CSR arena layout consumed by the fused
+    /// inference kernel: level-contiguous node ordering, per-level CSR
+    /// adjacency with skip edges folded in and their positional encodings
+    /// precomputed. Build once per circuit, reuse across iterations and
+    /// inference calls (a serving layer — see `deepgate::InferenceSession` —
+    /// reuses it across requests for repeated circuits).
     pub fn plan(&self, circuit: &CircuitGraph) -> InferencePlan {
+        InferencePlan::compile(
+            circuit,
+            self.config.edge_attr_dim(),
+            self.config.skip_encoding_frequencies,
+        )
+    }
+
+    /// Bakes the model's weights into a [`CompiledKernel`] for the given
+    /// scoring mode. The kernel is independent of the parameter store, so a
+    /// session can compile once and predict many times.
+    pub fn compile(&self, store: &ParamStore, mode: QuantMode) -> CompiledKernel {
+        CompiledKernel::build(
+            store,
+            &self.config,
+            &self.embed,
+            &self.forward_agg,
+            &self.forward_gru,
+            self.reverse_agg.as_ref(),
+            self.reverse_gru.as_ref(),
+            &self.regressors,
+            mode,
+        )
+    }
+
+    /// Precomputes the extended edge lists of every forward batch of a
+    /// circuit for the legacy tensor path — the reference implementation the
+    /// CSR kernel is validated against.
+    pub fn reference_plan(&self, circuit: &CircuitGraph) -> ReferencePlan {
         let forward: Vec<(Vec<usize>, Vec<usize>, Option<Tensor>)> = circuit
             .forward_batches
             .iter()
@@ -398,7 +430,7 @@ impl DagRecGnn {
             .iter()
             .map(|batch| batch.edge_seg.iter().map(|&s| batch.targets[s]).collect())
             .collect();
-        InferencePlan {
+        ReferencePlan {
             forward,
             forward_targets,
             reverse_targets,
@@ -421,13 +453,22 @@ impl DagRecGnn {
             self.config.feature_dim,
             "circuit feature encoding does not match the model configuration"
         );
-        let h = self.embed_with_iterations(store, circuit, num_iterations);
-        self.regress_tensor(store, circuit, &h).as_slice().to_vec()
+        let plan = self.plan(circuit);
+        let kernel = self.compile(store, QuantMode::F32);
+        let mut out = Vec::new();
+        kernel
+            .predict_into(&plan, num_iterations, &mut out, None)
+            .expect("plan freshly built for this circuit and model");
+        out
     }
 
-    /// Gradient-free prediction through a precomputed [`InferencePlan`],
-    /// writing the per-node probabilities into `out` (cleared first, so a
-    /// caller can reuse one allocation across many calls).
+    /// Gradient-free prediction through a precomputed [`InferencePlan`] via
+    /// the CSR kernel, writing the per-node probabilities into `out`
+    /// (cleared first, so a caller can reuse one allocation across many
+    /// calls). Compiles an f32 kernel per call; sessions that predict
+    /// repeatedly should hold a [`CompiledKernel`] (see
+    /// [`DagRecGnn::compile`]) and call
+    /// [`CompiledKernel::predict_into`] directly.
     ///
     /// # Errors
     ///
@@ -447,10 +488,10 @@ impl DagRecGnn {
     }
 
     /// [`DagRecGnn::try_predict_into`] with optional kernel telemetry: when
-    /// `metrics` is given, every level-batch update records its wall time,
-    /// the regressor head is timed and the circuit's node count lands in
-    /// the size-bucket histogram. With `None` the path is identical to the
-    /// un-metered one.
+    /// `metrics` is given, every level-batch update records its wall time
+    /// and packed width, the regressor head is timed and the circuit's node
+    /// count lands in the size-bucket histogram. With `None` the path is
+    /// identical to the un-metered one.
     ///
     /// # Errors
     ///
@@ -465,20 +506,36 @@ impl DagRecGnn {
         metrics: Option<&GnnMetrics>,
     ) -> Result<(), GnnError> {
         self.check_encoding(circuit)?;
+        if !plan.matches(circuit, self.config.edge_attr_dim()) {
+            return Err(GnnError::PlanMismatch);
+        }
+        let kernel = self.compile(store, QuantMode::F32);
+        kernel.predict_into(plan, num_iterations, out, metrics)
+    }
+
+    /// Gradient-free prediction through the *legacy* tensor path — the
+    /// reference implementation the CSR kernel is validated against. Same
+    /// output contract as [`DagRecGnn::try_predict_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DagRecGnn::try_predict_into`].
+    pub fn predict_reference_into(
+        &self,
+        store: &ParamStore,
+        circuit: &CircuitGraph,
+        plan: &ReferencePlan,
+        num_iterations: usize,
+        out: &mut Vec<f32>,
+    ) -> Result<(), GnnError> {
+        self.check_encoding(circuit)?;
         if plan.forward.len() != circuit.forward_batches.len()
             || plan.attr_dim != self.config.edge_attr_dim()
         {
             return Err(GnnError::PlanMismatch);
         }
-        if let Some(m) = metrics {
-            m.circuit_nodes.record(circuit.num_nodes as u64);
-        }
-        let h = self.embed_with_plan_metered(store, circuit, num_iterations, plan, metrics);
-        let regress_start = metrics.map(|_| Instant::now());
+        let h = self.embed_with_plan_metered(store, circuit, num_iterations, plan, None);
         let pred = self.regress_tensor(store, circuit, &h);
-        if let (Some(m), Some(start)) = (metrics, regress_start) {
-            m.regress_ns.record_duration(start.elapsed());
-        }
         out.clear();
         out.extend_from_slice(pred.as_slice());
         Ok(())
@@ -493,7 +550,7 @@ impl DagRecGnn {
         circuit: &CircuitGraph,
         num_iterations: usize,
     ) -> Tensor {
-        let plan = self.plan(circuit);
+        let plan = self.reference_plan(circuit);
         self.embed_with_plan(store, circuit, num_iterations, &plan)
     }
 
@@ -519,7 +576,7 @@ impl DagRecGnn {
         store: &ParamStore,
         circuit: &CircuitGraph,
         num_iterations: usize,
-        plan: &InferencePlan,
+        plan: &ReferencePlan,
     ) -> Tensor {
         self.embed_with_plan_metered(store, circuit, num_iterations, plan, None)
     }
@@ -531,7 +588,7 @@ impl DagRecGnn {
         store: &ParamStore,
         circuit: &CircuitGraph,
         num_iterations: usize,
-        plan: &InferencePlan,
+        plan: &ReferencePlan,
         metrics: Option<&GnnMetrics>,
     ) -> Tensor {
         let mut h = self.embed.forward_tensor(store, &circuit.features);
@@ -927,6 +984,50 @@ mod tests {
         let nodes = snap.histogram("gnn_circuit_nodes").expect("series");
         assert_eq!(nodes.count, 1);
         assert_eq!(nodes.max, circuit.num_nodes as u64);
+        // Every level pass records its packed target width; f32 mode never
+        // touches the quantized counter.
+        let widths = snap.histogram("gnn_csr_level_width").expect("series");
+        assert_eq!(widths.count, levels);
+        assert!(widths.max >= 1);
+        assert_eq!(snap.counter("gnn_quantized_predicts_total"), 0);
+    }
+
+    #[test]
+    fn csr_kernel_is_bit_exact_with_reference_path() {
+        let circuit = reconvergent_graph();
+        for kind in AggregatorKind::ALL {
+            for (fix, skip, per_type) in [(false, false, false), (true, true, true)] {
+                let mut store = ParamStore::new();
+                let config = DagRecConfig {
+                    fix_gate_input: fix,
+                    use_skip_connections: skip,
+                    per_type_regressor: per_type,
+                    ..small_config(kind)
+                };
+                let model = DagRecGnn::new(&mut store, config);
+                let mut reference = Vec::new();
+                model
+                    .predict_reference_into(
+                        &store,
+                        &circuit,
+                        &model.reference_plan(&circuit),
+                        3,
+                        &mut reference,
+                    )
+                    .unwrap();
+                let mut csr = Vec::new();
+                model
+                    .compile(&store, QuantMode::F32)
+                    .predict_into(&model.plan(&circuit), 3, &mut csr, None)
+                    .unwrap();
+                let bits = |v: &[f32]| v.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
+                assert_eq!(
+                    bits(&reference),
+                    bits(&csr),
+                    "kind={kind:?} fix={fix} skip={skip}"
+                );
+            }
+        }
     }
 
     #[test]

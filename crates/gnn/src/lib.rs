@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 mod aggregator;
+mod csr;
 mod dag_conv;
 mod dag_rec;
 mod error;
@@ -29,8 +30,9 @@ mod metrics;
 mod model;
 
 pub use aggregator::{Aggregator, AggregatorKind};
+pub use csr::{CompiledKernel, InferencePlan, QuantMode};
 pub use dag_conv::{DagConvConfig, DagConvGnn};
-pub use dag_rec::{DagRecConfig, DagRecGnn, InferencePlan};
+pub use dag_rec::{DagRecConfig, DagRecGnn, ReferencePlan};
 pub use error::GnnError;
 pub use gcn::{Gcn, GcnConfig};
 pub use graph::{CircuitGraph, FeatureEncoding, LevelBatch, SkipEdge, StructuralHasher};

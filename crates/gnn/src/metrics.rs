@@ -23,6 +23,13 @@ pub struct GnnMetrics {
     /// Total level batches processed across all iterations
     /// (`gnn_levels_total`).
     pub levels_total: Arc<Counter>,
+    /// Target-node counts of the CSR kernel's level slices
+    /// (`gnn_csr_level_width`) — the density profile of the packed layout;
+    /// wide levels amortise the per-level dispatch, narrow ones do not.
+    pub csr_level_width: Arc<Histogram>,
+    /// Predictions served by the quantized (int8) scoring mode
+    /// (`gnn_quantized_predicts_total`).
+    pub quantized_predicts: Arc<Counter>,
 }
 
 impl GnnMetrics {
@@ -34,6 +41,8 @@ impl GnnMetrics {
             regress_ns: registry.histogram("gnn_regress_ns"),
             circuit_nodes: registry.histogram("gnn_circuit_nodes"),
             levels_total: registry.counter("gnn_levels_total"),
+            csr_level_width: registry.histogram("gnn_csr_level_width"),
+            quantized_predicts: registry.counter("gnn_quantized_predicts_total"),
         }
     }
 }

@@ -1,0 +1,393 @@
+//! Parity suite for the CSR level-packed inference kernel.
+//!
+//! The CSR kernel ([`deepgate_gnn::CompiledKernel`]) is the serving hot
+//! path; the legacy tensor path ([`DagRecGnn::predict_reference_into`]) is
+//! the ground truth. This suite is the exactness gate:
+//!
+//! - **f32 mode** must be *bit-exact* with the reference path (`to_bits`
+//!   equality, not epsilon closeness) on a fixed suite of ≥7 circuit shapes
+//!   and on proptest-random circuits, across every aggregator and model
+//!   variant.
+//! - **int8 mode** must preserve the *rank order* of gate probabilities on
+//!   every pair the f32 model separates by more than [`RANK_MARGIN`], and
+//!   its per-node drift from f32 must stay under [`MAX_ABS_DRIFT`].
+
+use deepgate_aig::Aig;
+use deepgate_gnn::{
+    AggregatorKind, CircuitGraph, DagRecConfig, DagRecGnn, FeatureEncoding, QuantMode,
+};
+use deepgate_netlist::{GateKind, Netlist, NodeId};
+use deepgate_nn::ParamStore;
+use proptest::prelude::*;
+
+/// Minimum f32 probability separation at which int8 must agree on ordering.
+/// Pairs closer than this are allowed to swap — quantization noise — but
+/// any decision-relevant gap must survive.
+const RANK_MARGIN: f32 = 0.05;
+
+/// Maximum per-node |int8 − f32| probability drift.
+const MAX_ABS_DRIFT: f32 = 0.05;
+
+/// Expands an arbitrary netlist into AIG-gate form and builds its graph —
+/// the same pipeline the engine facade runs.
+fn graph_of(netlist: &Netlist) -> CircuitGraph {
+    let aig = Aig::from_netlist(netlist).expect("maps to AIG");
+    CircuitGraph::from_netlist(&aig.to_netlist(), FeatureEncoding::AigGates, None)
+}
+
+/// A NOT/buffer chain: the deepest, narrowest shape — every CSR level has
+/// width 1, stressing per-level overhead and the reverse pass ordering.
+fn shape_chain(depth: usize) -> Netlist {
+    let mut n = Netlist::new("chain");
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let mut cur = n.add_gate(GateKind::And, &[a, b]).unwrap();
+    for _ in 0..depth {
+        cur = n.add_gate(GateKind::Not, &[cur]).unwrap();
+    }
+    n.mark_output(cur, "y");
+    n
+}
+
+/// A balanced AND tree: maximally wide levels that shrink geometrically —
+/// the dense-slice best case for the CSR walk.
+fn shape_tree(leaves: usize) -> Netlist {
+    let mut n = Netlist::new("tree");
+    let mut layer: Vec<NodeId> = (0..leaves).map(|i| n.add_input(format!("x{i}"))).collect();
+    while layer.len() > 1 {
+        let mut next = Vec::new();
+        for pair in layer.chunks(2) {
+            next.push(if pair.len() == 2 {
+                n.add_gate(GateKind::And, &[pair[0], pair[1]]).unwrap()
+            } else {
+                pair[0]
+            });
+        }
+        layer = next;
+    }
+    n.mark_output(layer[0], "y");
+    n
+}
+
+/// The full adder: XOR decomposition introduces inverters and reconvergent
+/// sharing through the AIG mapping, with two outputs.
+fn shape_full_adder() -> Netlist {
+    let mut n = Netlist::new("full_adder");
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let cin = n.add_input("cin");
+    let x = n.add_gate(GateKind::Xor, &[a, b]).unwrap();
+    let sum = n.add_gate(GateKind::Xor, &[x, cin]).unwrap();
+    let g1 = n.add_gate(GateKind::And, &[a, b]).unwrap();
+    let g2 = n.add_gate(GateKind::And, &[x, cin]).unwrap();
+    let cout = n.add_gate(GateKind::Or, &[g1, g2]).unwrap();
+    n.mark_output(sum, "sum");
+    n.mark_output(cout, "cout");
+    n
+}
+
+/// A reconvergent diamond: one stem fans out and reconverges, producing
+/// skip edges (the `use_skip_connections` path) on a minimal circuit.
+fn shape_diamond() -> Netlist {
+    let mut n = Netlist::new("diamond");
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let c = n.add_input("c");
+    let stem = n.add_gate(GateKind::And, &[a, b]).unwrap();
+    let left = n.add_gate(GateKind::Not, &[stem]).unwrap();
+    let right = n.add_gate(GateKind::And, &[stem, c]).unwrap();
+    let join = n.add_gate(GateKind::And, &[left, right]).unwrap();
+    n.mark_output(join, "y");
+    n
+}
+
+/// Mixed gate kinds (NAND/NOR/XOR/OR): the AIG mapping spreads these across
+/// several levels with inverters, so per-type regressor masks see every
+/// node class.
+fn shape_mixed() -> Netlist {
+    let mut n = Netlist::new("mixed");
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let c = n.add_input("c");
+    let d = n.add_input("d");
+    let g1 = n.add_gate(GateKind::Nand, &[a, b]).unwrap();
+    let g2 = n.add_gate(GateKind::Nor, &[c, d]).unwrap();
+    let g3 = n.add_gate(GateKind::Xor, &[g1, g2]).unwrap();
+    let g4 = n.add_gate(GateKind::Or, &[g3, a]).unwrap();
+    n.mark_output(g4, "y");
+    n.mark_output(g2, "m");
+    n
+}
+
+/// A wide multi-output comb: many independent 2-input gates at level 1 —
+/// one wide CSR level, no depth, every gate an output.
+fn shape_comb(width: usize) -> Netlist {
+    let mut n = Netlist::new("comb");
+    let inputs: Vec<NodeId> = (0..=width).map(|i| n.add_input(format!("x{i}"))).collect();
+    for i in 0..width {
+        let g = n
+            .add_gate(GateKind::And, &[inputs[i], inputs[i + 1]])
+            .unwrap();
+        n.mark_output(g, format!("y{i}"));
+    }
+    n
+}
+
+/// A ladder with long-range reuse: every rung reuses an early stem, giving
+/// many skip edges with large, varied level differences.
+fn shape_ladder(rungs: usize) -> Netlist {
+    let mut n = Netlist::new("ladder");
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let stem = n.add_gate(GateKind::And, &[a, b]).unwrap();
+    let mut cur = stem;
+    for _ in 0..rungs {
+        let inv = n.add_gate(GateKind::Not, &[cur]).unwrap();
+        cur = n.add_gate(GateKind::And, &[inv, stem]).unwrap();
+    }
+    n.mark_output(cur, "y");
+    n
+}
+
+/// The fixed shape suite: ≥7 structurally distinct circuit families.
+fn shape_suite() -> Vec<CircuitGraph> {
+    vec![
+        graph_of(&shape_chain(9)),
+        graph_of(&shape_tree(16)),
+        graph_of(&shape_full_adder()),
+        graph_of(&shape_diamond()),
+        graph_of(&shape_mixed()),
+        graph_of(&shape_comb(12)),
+        graph_of(&shape_ladder(6)),
+    ]
+}
+
+fn config(kind: AggregatorKind, fix: bool, skip: bool, per_type: bool) -> DagRecConfig {
+    DagRecConfig {
+        hidden_dim: 12,
+        num_iterations: 3,
+        regressor_hidden: 8,
+        aggregator: kind,
+        fix_gate_input: fix,
+        use_skip_connections: skip,
+        per_type_regressor: per_type,
+        ..DagRecConfig::default()
+    }
+}
+
+/// Reference-path probabilities.
+fn reference_probs(model: &DagRecGnn, store: &ParamStore, circuit: &CircuitGraph) -> Vec<f32> {
+    let plan = model.reference_plan(circuit);
+    let mut out = Vec::new();
+    model
+        .predict_reference_into(
+            store,
+            circuit,
+            &plan,
+            model.config().num_iterations,
+            &mut out,
+        )
+        .expect("reference path predicts");
+    out
+}
+
+/// CSR-kernel probabilities in the given scoring mode.
+fn csr_probs(
+    model: &DagRecGnn,
+    store: &ParamStore,
+    circuit: &CircuitGraph,
+    mode: QuantMode,
+) -> Vec<f32> {
+    let plan = model.plan(circuit);
+    let kernel = model.compile(store, mode);
+    let mut out = Vec::new();
+    kernel
+        .predict_into(&plan, model.config().num_iterations, &mut out, None)
+        .expect("CSR kernel predicts");
+    out
+}
+
+fn assert_bit_exact(reference: &[f32], csr: &[f32], context: &str) {
+    assert_eq!(reference.len(), csr.len(), "{context}: length mismatch");
+    for (i, (r, c)) in reference.iter().zip(csr).enumerate() {
+        assert_eq!(
+            r.to_bits(),
+            c.to_bits(),
+            "{context}: node {i} diverges: reference {r} vs CSR {c}"
+        );
+    }
+}
+
+/// Gate-node indices: every forward-batch target (inputs are excluded —
+/// their embeddings are fixed and their probabilities near-constant).
+fn gate_nodes(circuit: &CircuitGraph) -> Vec<usize> {
+    circuit
+        .forward_batches
+        .iter()
+        .flat_map(|b| b.targets.iter().copied())
+        .collect()
+}
+
+/// Asserts int8 probabilities against their f32 counterparts: bounded
+/// per-node drift and preserved ordering of every well-separated gate pair.
+fn assert_quantized_faithful(exact: &[f32], quantized: &[f32], circuit: &CircuitGraph, ctx: &str) {
+    let mut max_drift = 0.0f32;
+    for (e, q) in exact.iter().zip(quantized) {
+        max_drift = max_drift.max((e - q).abs());
+    }
+    assert!(
+        max_drift <= MAX_ABS_DRIFT,
+        "{ctx}: int8 drift {max_drift} exceeds {MAX_ABS_DRIFT}"
+    );
+    let gates = gate_nodes(circuit);
+    for (a, &i) in gates.iter().enumerate() {
+        for &j in &gates[a + 1..] {
+            let gap = exact[i] - exact[j];
+            if gap.abs() <= RANK_MARGIN {
+                continue;
+            }
+            let qgap = quantized[i] - quantized[j];
+            assert!(
+                gap.signum() == qgap.signum() && qgap != 0.0,
+                "{ctx}: rank order broken between nodes {i} ({} -> {}) and {j} ({} -> {})",
+                exact[i],
+                quantized[i],
+                exact[j],
+                quantized[j],
+            );
+        }
+    }
+}
+
+#[test]
+fn csr_f32_is_bit_exact_on_the_shape_suite_for_every_aggregator() {
+    for circuit in shape_suite() {
+        for kind in AggregatorKind::ALL {
+            for (fix, skip, per_type) in [(false, false, false), (true, true, true)] {
+                let mut store = ParamStore::new();
+                let model = DagRecGnn::new(&mut store, config(kind, fix, skip, per_type));
+                let reference = reference_probs(&model, &store, &circuit);
+                let csr = csr_probs(&model, &store, &circuit, QuantMode::F32);
+                let ctx = format!(
+                    "{} kind={kind:?} fix={fix} skip={skip} per_type={per_type}",
+                    circuit.name
+                );
+                assert_bit_exact(&reference, &csr, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn quantized_mode_preserves_rank_order_across_the_eval_suite() {
+    // The exactness gate of the quantized scoring mode: across the whole
+    // shape suite under the DeepGate configuration, int8 never reorders a
+    // decision-relevant probability gap and never drifts past the bound.
+    for circuit in shape_suite() {
+        let mut store = ParamStore::new();
+        let model = DagRecGnn::new(
+            &mut store,
+            config(AggregatorKind::Attention, true, true, true),
+        );
+        let exact = csr_probs(&model, &store, &circuit, QuantMode::F32);
+        let quantized = csr_probs(&model, &store, &circuit, QuantMode::Int8);
+        assert_quantized_faithful(&exact, &quantized, &circuit, &circuit.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// f32 CSR output is bit-exact with the reference path on random
+    /// circuits under the full DeepGate configuration.
+    #[test]
+    fn csr_f32_is_bit_exact_on_random_circuits(
+        netlist in random_netlist(30),
+        variant in 0usize..4,
+    ) {
+        let circuit = graph_of(&netlist);
+        let kind = AggregatorKind::ALL[variant];
+        let mut store = ParamStore::new();
+        let model = DagRecGnn::new(&mut store, config(kind, true, true, false));
+        let reference = reference_probs(&model, &store, &circuit);
+        let csr = csr_probs(&model, &store, &circuit, QuantMode::F32);
+        prop_assert_eq!(reference.len(), csr.len());
+        for (r, c) in reference.iter().zip(&csr) {
+            prop_assert_eq!(r.to_bits(), c.to_bits());
+        }
+    }
+
+    /// int8 scoring preserves rank order and bounded drift on random
+    /// circuits.
+    #[test]
+    fn quantized_mode_is_faithful_on_random_circuits(netlist in random_netlist(30)) {
+        let circuit = graph_of(&netlist);
+        let mut store = ParamStore::new();
+        let model = DagRecGnn::new(
+            &mut store,
+            config(AggregatorKind::Attention, true, true, true),
+        );
+        let exact = csr_probs(&model, &store, &circuit, QuantMode::F32);
+        let quantized = csr_probs(&model, &store, &circuit, QuantMode::Int8);
+        let mut max_drift = 0.0f32;
+        for (e, q) in exact.iter().zip(&quantized) {
+            max_drift = max_drift.max((e - q).abs());
+        }
+        prop_assert!(
+            max_drift <= MAX_ABS_DRIFT,
+            "int8 drift {} exceeds {}", max_drift, MAX_ABS_DRIFT
+        );
+        let gates = gate_nodes(&circuit);
+        for (a, &i) in gates.iter().enumerate() {
+            for &j in &gates[a + 1..] {
+                let gap = exact[i] - exact[j];
+                if gap.abs() <= RANK_MARGIN {
+                    continue;
+                }
+                let qgap = quantized[i] - quantized[j];
+                prop_assert!(
+                    gap.signum() == qgap.signum() && qgap != 0.0,
+                    "rank order broken: nodes {} ({} -> {}) vs {} ({} -> {})",
+                    i, exact[i], quantized[i], j, exact[j], quantized[j]
+                );
+            }
+        }
+    }
+}
+
+/// Strategy: a random valid combinational netlist, as (gate kind, fan-in
+/// picks) build steps over a random input count — the same construction the
+/// workspace-level property suite uses.
+fn random_netlist(max_gates: usize) -> impl Strategy<Value = Netlist> {
+    let gate_steps = prop::collection::vec((0usize..6, any::<u64>(), any::<u64>()), 1..max_gates);
+    (2usize..6, gate_steps).prop_map(|(num_inputs, steps)| {
+        let mut netlist = Netlist::new("prop");
+        let mut signals: Vec<NodeId> = (0..num_inputs)
+            .map(|i| netlist.add_input(format!("x{i}")))
+            .collect();
+        let kinds = [
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Not,
+        ];
+        for (kind_idx, pick_a, pick_b) in steps {
+            let kind = kinds[kind_idx];
+            let a = signals[(pick_a % signals.len() as u64) as usize];
+            let b = signals[(pick_b % signals.len() as u64) as usize];
+            let id = if kind == GateKind::Not {
+                netlist.add_gate(kind, &[a]).expect("valid arity")
+            } else {
+                netlist.add_gate(kind, &[a, b]).expect("valid arity")
+            };
+            signals.push(id);
+        }
+        let last = *signals.last().expect("at least one signal");
+        netlist.mark_output(last, "y");
+        let mid = signals[signals.len() / 2];
+        netlist.mark_output(mid, "m");
+        netlist
+    })
+}

@@ -78,6 +78,18 @@ impl Linear {
         }
     }
 
+    /// The `[in_features, out_features]` weight tensor (read-only view into
+    /// the store). Kernel compilers use this to bake weights into flat
+    /// inference-time layouts.
+    pub fn weight_tensor<'a>(&self, store: &'a ParamStore) -> &'a Tensor {
+        store.value(self.weight)
+    }
+
+    /// The `[1, out_features]` bias tensor, if the layer has one.
+    pub fn bias_tensor<'a>(&self, store: &'a ParamStore) -> Option<&'a Tensor> {
+        self.bias.map(|b| store.value(b))
+    }
+
     /// Gradient-free forward pass on plain tensors (used for inference on
     /// large circuits where recording an autodiff tape would be wasteful).
     pub fn forward_tensor(&self, store: &ParamStore, input: &Tensor) -> Tensor {
@@ -149,6 +161,21 @@ impl Mlp {
             activation,
             sigmoid_output,
         }
+    }
+
+    /// The linear layers in application order.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// The hidden-layer activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Whether a sigmoid follows the final linear layer.
+    pub fn has_sigmoid_output(&self) -> bool {
+        self.sigmoid_output
     }
 
     /// Applies the MLP to a `[n, sizes[0]]` input.
@@ -283,6 +310,14 @@ impl GruCell {
     /// Hidden state dimension.
     pub fn hidden_size(&self) -> usize {
         self.hidden_size
+    }
+
+    /// The six gate projections in `[xr, hr, xz, hz, xn, hn]` order — the
+    /// reset, update and candidate gates' input-side and hidden-side layers.
+    pub fn gates(&self) -> [&Linear; 6] {
+        [
+            &self.w_xr, &self.w_hr, &self.w_xz, &self.w_hz, &self.w_xn, &self.w_hn,
+        ]
     }
 
     /// Computes the next hidden state for a batch of rows.

@@ -369,6 +369,50 @@ fn zero_slow_threshold_counts_every_predict() {
 }
 
 #[test]
+fn quantized_server_records_kernel_series() {
+    let server = Server::start(
+        quick_engine(),
+        ServeConfig {
+            quantize: QuantMode::Int8,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server binds");
+    let mut client = Client::connect(&server);
+    let request = serde_json::to_string(&Value::Object(
+        [
+            ("id".to_string(), Value::UInt(1)),
+            ("bench".to_string(), Value::Str(FULL_ADDER.to_string())),
+        ]
+        .into_iter()
+        .collect(),
+    ))
+    .expect("request serialises");
+    let response = client.roundtrip(&request);
+    assert!(
+        response
+            .as_object()
+            .is_some_and(|o| o.contains_key("probs")),
+        "quantized predict failed: {response:?}"
+    );
+
+    let metrics = client.scrape();
+    // The quantized kernel counts itself once per predict...
+    assert!(
+        counter(&metrics, "gnn_quantized_predicts_total") >= 1,
+        "a quantized predict must bump gnn_quantized_predicts_total"
+    );
+    // ...and records each CSR level's width along the way.
+    let widths = histogram(&metrics, "gnn_csr_level_width");
+    assert!(
+        uint(widths, "count") > 0,
+        "gnn_csr_level_width must record per processed level"
+    );
+    assert_histogram_consistent(&metrics, "gnn_csr_level_width");
+    server.shutdown();
+}
+
+#[test]
 fn per_verb_counters_split_the_traffic() {
     let server = Server::start(quick_engine(), ServeConfig::default()).expect("server binds");
     let mut client = Client::connect(&server);

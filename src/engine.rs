@@ -5,7 +5,7 @@ use crate::{CircuitSource, DeepGateError, EngineMetrics, InferenceSession};
 use deepgate_aig::{opt, Aig};
 use deepgate_core::{DeepGate, DeepGateConfig, Trainer, TrainerConfig, TrainingHistory};
 use deepgate_dataset::{labelled_circuit_from_aig, labelled_circuit_from_netlist};
-use deepgate_gnn::{CircuitGraph, FeatureEncoding, GnnError};
+use deepgate_gnn::{CircuitGraph, FeatureEncoding, GnnError, QuantMode};
 use deepgate_nn::Tensor;
 use rayon::prelude::*;
 use std::path::Path;
@@ -43,6 +43,7 @@ pub struct EngineBuilder {
     pipeline: PipelineConfig,
     checkpoint_json: Option<String>,
     metrics: Option<Arc<EngineMetrics>>,
+    quantize: QuantMode,
 }
 
 impl Default for EngineBuilder {
@@ -59,6 +60,7 @@ impl Default for EngineBuilder {
             },
             checkpoint_json: None,
             metrics: None,
+            quantize: QuantMode::F32,
         }
     }
 }
@@ -115,6 +117,16 @@ impl EngineBuilder {
     /// this the engine records nothing.
     pub fn metrics(mut self, metrics: Arc<EngineMetrics>) -> Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Selects the scoring mode of the inference kernel used by sessions
+    /// this engine opens: [`QuantMode::F32`] (exact, the default) or
+    /// [`QuantMode::Int8`] (quantized weights, rank-order-preserving
+    /// probabilities). Training always runs in f32 — this only affects
+    /// serving.
+    pub fn quantize(mut self, mode: QuantMode) -> Self {
+        self.quantize = mode;
         self
     }
 
@@ -203,6 +215,7 @@ impl EngineBuilder {
             trainer: self.trainer,
             pipeline: self.pipeline,
             metrics: self.metrics,
+            quantize: self.quantize,
         })
     }
 }
@@ -219,6 +232,7 @@ pub struct Engine {
     trainer: TrainerConfig,
     pipeline: PipelineConfig,
     metrics: Option<Arc<EngineMetrics>>,
+    quantize: QuantMode,
 }
 
 impl Engine {
@@ -458,11 +472,16 @@ impl Engine {
         })
     }
 
+    /// The scoring mode sessions opened by this engine use.
+    pub fn quantization(&self) -> QuantMode {
+        self.quantize
+    }
+
     /// Opens an inference session over a clone of the current weights (the
     /// engine stays available for further training). The session inherits
-    /// the engine's telemetry handles.
+    /// the engine's telemetry handles and scoring mode.
     pub fn session(&self) -> InferenceSession {
-        let session = InferenceSession::new(self.model.clone());
+        let session = InferenceSession::new(self.model.clone()).with_quantization(self.quantize);
         match &self.metrics {
             Some(metrics) => session.with_metrics(Arc::clone(metrics)),
             None => session,
@@ -470,9 +489,10 @@ impl Engine {
     }
 
     /// Consumes the engine into an inference session without cloning the
-    /// weights. The session inherits the engine's telemetry handles.
+    /// weights. The session inherits the engine's telemetry handles and
+    /// scoring mode.
     pub fn into_session(self) -> InferenceSession {
-        let session = InferenceSession::new(self.model);
+        let session = InferenceSession::new(self.model).with_quantization(self.quantize);
         match self.metrics {
             Some(metrics) => session.with_metrics(metrics),
             None => session,

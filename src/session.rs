@@ -2,7 +2,7 @@
 
 use crate::{DeepGateError, EngineMetrics};
 use deepgate_core::DeepGate;
-use deepgate_gnn::{CircuitGraph, InferencePlan};
+use deepgate_gnn::{CircuitGraph, CompiledKernel, GnnError, InferencePlan, QuantMode};
 use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
@@ -70,27 +70,34 @@ impl PreparedBatch {
 ///    single core.
 /// 2. **Parallel fan-out** — union chunks run rayon-parallel, one per
 ///    worker thread.
-/// 3. **Plan and buffer reuse** — the skip-connection-extended edge lists
-///    ([`InferencePlan`]) are computed once per circuit/union and reused
-///    across all `T` iterations; [`InferenceSession::prepare`] /
-///    [`InferenceSession::prepare_batch`] pin them across calls, and the
+/// 3. **Plan, kernel and buffer reuse** — the CSR arena layout
+///    ([`InferencePlan`]) is compiled once per circuit/union and reused
+///    across all `T` iterations, the model's weights are baked once into a
+///    [`CompiledKernel`]; [`InferenceSession::prepare`] /
+///    [`InferenceSession::prepare_batch`] pin plans across calls, and the
 ///    `_into` variants write into caller-owned buffers, so a steady-state
-///    serving loop performs no per-request plan rebuilds.
+///    serving loop performs no per-request plan or kernel rebuilds.
 #[derive(Debug)]
 pub struct InferenceSession {
     model: DeepGate,
     iterations: usize,
     metrics: Option<Arc<EngineMetrics>>,
+    quantize: QuantMode,
+    kernel: CompiledKernel,
 }
 
 impl InferenceSession {
-    /// Wraps a model in a session.
+    /// Wraps a model in a session, baking the weights into an f32 CSR
+    /// kernel.
     pub fn new(model: DeepGate) -> Self {
         let iterations = model.config().num_iterations;
+        let kernel = model.compile(QuantMode::F32);
         InferenceSession {
             model,
             iterations,
             metrics: None,
+            quantize: QuantMode::F32,
+            kernel,
         }
     }
 
@@ -99,6 +106,22 @@ impl InferenceSession {
     pub fn with_iterations(mut self, iterations: usize) -> Self {
         self.iterations = iterations.max(1);
         self
+    }
+
+    /// Selects the scoring mode, recompiling the kernel when it changes:
+    /// [`QuantMode::F32`] (exact, the default) or [`QuantMode::Int8`]
+    /// (quantized weights, rank-order-preserving probabilities).
+    pub fn with_quantization(mut self, mode: QuantMode) -> Self {
+        if mode != self.quantize {
+            self.quantize = mode;
+            self.kernel = self.model.compile(mode);
+        }
+        self
+    }
+
+    /// The session's scoring mode.
+    pub fn quantization(&self) -> QuantMode {
+        self.quantize
     }
 
     /// Attaches telemetry: plan builds, batch fusion and every planned
@@ -280,16 +303,20 @@ impl InferenceSession {
         plan: &InferencePlan,
         out: &mut Vec<f32>,
     ) -> Result<(), DeepGateError> {
+        // The kernel validates dimensions, not encodings — keep the
+        // circuit-level check (and its error) here.
+        let expected = self.model.config().feature_dim;
+        let got = circuit.encoding.dimension();
+        if got != expected {
+            return Err(GnnError::EncodingMismatch { expected, got }.into());
+        }
+        if !plan.matches(circuit, self.model.model().config().edge_attr_dim()) {
+            return Err(GnnError::PlanMismatch.into());
+        }
         let metrics = self.metrics.as_deref();
         let predict_start = metrics.map(|_| Instant::now());
-        self.model.model().try_predict_into_metered(
-            self.model.store(),
-            circuit,
-            plan,
-            self.iterations,
-            out,
-            metrics.map(|m| &m.gnn),
-        )?;
+        self.kernel
+            .predict_into(plan, self.iterations, out, metrics.map(|m| &m.gnn))?;
         if let (Some(m), Some(start)) = (metrics, predict_start) {
             m.predict_ns.record_duration(start.elapsed());
         }
